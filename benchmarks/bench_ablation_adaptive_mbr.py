@@ -1,0 +1,69 @@
+"""Sec. VI-A ablation — adaptive MBR precision setting.
+
+The future-work extension implemented in :mod:`repro.core.adaptive`:
+a width cap on the routing coordinate, adapted from span feedback,
+bounds each box's replication span near a target while keeping as much
+of w-batching's bandwidth saving as the data allows.  Compared against
+plain w=10 batching on the same workload.
+"""
+
+from repro.bench import format_series
+from repro.core import KIND
+from repro.workload import run_measured
+
+from conftest import BENCH_CONFIG
+
+N_NODES = 100
+MEASURE_MS = 10_000.0
+W = 10
+
+
+def run_variant(adaptive):
+    cfg = BENCH_CONFIG.with_(batch_size=W, adaptive_mbr=adaptive)
+    return run_measured(
+        N_NODES, config=cfg, seed=0, measure_ms=MEASURE_MS, warmup_extra_ms=3_000.0
+    )
+
+
+def test_adaptive_mbr_precision(benchmark, save_result):
+    def compute():
+        out = {}
+        for label, adaptive in (("plain w=10", False), ("adaptive (VI-A)", True)):
+            run = run_variant(adaptive)
+            s = run.system.network.stats
+            secs = MEASURE_MS / 1000.0
+            out[label] = {
+                "MBR originations /node/s": s.sends_by_kind.get(KIND.MBR, 0)
+                / N_NODES
+                / secs,
+                "span overhead per MBR": s.sends_by_kind.get(KIND.MBR_SPAN, 0)
+                / max(1, s.originations[KIND.MBR]),
+                "MBR span msgs /node/s": s.sends_by_kind.get(KIND.MBR_SPAN, 0)
+                / N_NODES
+                / secs,
+            }
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    labels = list(out)
+    metrics = list(out[labels[0]])
+    series = {m: [out[l][m] for l in labels] for m in metrics}
+    save_result(
+        "ablation_adaptive_mbr",
+        format_series(
+            f"Sec. VI-A: adaptive MBR precision vs plain batching (N={N_NODES})",
+            "variant",
+            labels,
+            series,
+        ),
+    )
+
+    plain = out["plain w=10"]
+    adaptive = out["adaptive (VI-A)"]
+    # adaptation slashes the per-box replication span ...
+    assert adaptive["span overhead per MBR"] < 0.5 * plain["span overhead per MBR"]
+    # ... and the total span traffic
+    assert adaptive["MBR span msgs /node/s"] < plain["MBR span msgs /node/s"]
+    # at the cost of more (narrower) boxes, bounded by the no-batching rate
+    assert adaptive["MBR originations /node/s"] >= plain["MBR originations /node/s"]
+    assert adaptive["MBR originations /node/s"] <= 6.0  # <= one per arrival

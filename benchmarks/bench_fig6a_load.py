@@ -1,0 +1,59 @@
+"""Figure 6(a) — average message load on a node (per second) vs N.
+
+Regenerates the seven-component load breakdown over the paper's node
+counts (50-500) under the Table I workload and asserts the paper's
+qualitative findings:
+
+* the per-node rate of MBR originations is independent of N (each node
+  sources one stream);
+* the only substantially *growing* component is MBR routing transit,
+  and it grows no faster than log N;
+* query messages are a small fraction of the total load;
+* responses from aggregators to clients decrease per node (their total
+  is set by the query rate, which does not scale with N).
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_NODE_COUNTS, format_series
+
+
+def test_fig6a_load_components(benchmark, sweep, save_result):
+    ns = PAPER_NODE_COUNTS
+
+    series = benchmark.pedantic(
+        lambda: sweep.load_series(ns), rounds=1, iterations=1
+    )
+    save_result(
+        "fig6a_load",
+        format_series(
+            "Figure 6(a): average load of messages on a node (per second)",
+            "N",
+            ns,
+            series,
+        ),
+    )
+
+    mbrs = series["MBRs"]
+    transit = series["MBRs in transit"]
+    spans = series["MBRs internal"]
+    queries = series["Queries"]
+    responses = series["Responses"]
+
+    # (a) per-node MBR origination rate constant in N
+    assert max(mbrs) / min(mbrs) < 1.3
+
+    # (b) span replication negligible in this regime
+    assert max(spans) < 0.2 * max(mbrs)
+
+    # (c) transit grows, but sub-linearly (~log N): growing 10x the node
+    # count should grow transit by far less than 10x
+    assert transit[-1] > transit[0]
+    assert transit[-1] / transit[0] < np.log2(ns[-1]) / np.log2(ns[0]) * 1.8
+
+    # (d) queries are a small fraction of total load everywhere
+    totals = [sum(vals[i] for vals in series.values()) for i in range(len(ns))]
+    assert all(q < 0.25 * t for q, t in zip(queries, totals))
+
+    # (e) responses per node decrease as N grows
+    assert responses[-1] < responses[0]

@@ -1,0 +1,41 @@
+"""Figure 7(a) — message overhead per input event, query radius 0.1.
+
+"System efficiency": how many *additional* messages the system sends to
+handle each input event (a new MBR, query, or response).  The paper's
+finding: every type is handled efficiently except internal query
+messages, whose count grows linearly with N because the same key range
+covers more nodes as the ring densifies.
+"""
+
+from repro.bench import format_series
+
+NS = (50, 100, 200, 300)
+
+
+def test_fig7a_overhead(benchmark, sweep, save_result):
+    series = benchmark.pedantic(
+        lambda: sweep.overhead_series(NS), rounds=1, iterations=1
+    )
+    save_result(
+        "fig7a_overhead",
+        format_series(
+            "Figure 7(a): message overhead per input event (radius 0.1)",
+            "N",
+            NS,
+            series,
+        ),
+    )
+
+    q_span = series["Query messages"]
+    # linear growth of internal query messages: ~proportional to N
+    assert q_span[-1] > q_span[0] * (NS[-1] / NS[0]) * 0.5
+    ratio_mid = q_span[2] / q_span[0]
+    assert 2.0 < ratio_mid < 8.0  # 200/50 = 4x nodes -> ~4x span
+
+    # routing transit overheads stay modest (log N hops per event)
+    for key in ("MBR messages in transit", "Query messages in transit",
+                "Response messages in transit"):
+        assert max(series[key]) < 10.0
+
+    # MBR span overhead negligible in this regime
+    assert max(series["MBR messages"]) < 0.5

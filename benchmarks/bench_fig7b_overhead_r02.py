@@ -1,0 +1,44 @@
+"""Figure 7(b) — message overhead with query radius 0.2.
+
+"The most significant difference here is in an even higher number of
+query messages because a twice bigger query radius spans twice as many
+nodes.  Yet, even this higher number does not create significant load."
+We regenerate the radius-0.2 sweep and assert both statements: the
+internal-query overhead roughly doubles relative to Fig. 7(a), and the
+total load stays the same order of magnitude.
+"""
+
+from repro.bench import format_series
+
+NS = (50, 100, 200, 300)
+
+
+def test_fig7b_overhead_radius_02(benchmark, sweep, save_result):
+    series_02 = benchmark.pedantic(
+        lambda: sweep.overhead_series(NS, radius=0.2), rounds=1, iterations=1
+    )
+    series_01 = sweep.overhead_series(NS, radius=0.1)  # cached from Fig. 7(a)
+
+    save_result(
+        "fig7b_overhead_r02",
+        format_series(
+            "Figure 7(b): message overhead per input event (radius 0.2)",
+            "N",
+            NS,
+            series_02,
+        ),
+    )
+
+    # ~2x more query-span messages at every N
+    for a, b in zip(series_01["Query messages"], series_02["Query messages"]):
+        assert 1.4 < b / a < 3.0, (a, b)
+
+    # still linear in N
+    q = series_02["Query messages"]
+    assert q[-1] > q[0] * 2.5
+
+    # queries remain a small share of total load: the system stays scalable
+    run_02 = sweep.run(200, radius=0.2)
+    load = run_02.metrics.load_components()
+    total = sum(load.values())
+    assert load["Queries"] < 0.3 * total

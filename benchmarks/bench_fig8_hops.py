@@ -1,0 +1,42 @@
+"""Figure 8 — average number of hops traversed by a request vs N.
+
+Responsiveness: hops each MBR/query/response message takes before being
+processed.  The paper's findings, asserted here:
+
+* point-routed messages (MBR, query, response) take O(log N) hops —
+  Chord's guarantee;
+* *internal query* messages (range replication) take the longest and
+  grow linearly with N, the bottleneck Sec. VI-B's hierarchy addresses.
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_NODE_COUNTS, format_series
+
+
+def test_fig8_hops(benchmark, sweep, save_result):
+    ns = PAPER_NODE_COUNTS
+    series = benchmark.pedantic(lambda: sweep.hop_series(ns), rounds=1, iterations=1)
+    save_result(
+        "fig8_hops",
+        format_series(
+            "Figure 8: average number of hops traversed by a request",
+            "N",
+            ns,
+            series,
+        ),
+    )
+
+    for kind in ("MBR messages", "Query messages", "Response messages"):
+        hops = series[kind]
+        assert hops[-1] > hops[0]  # grows with N ...
+        # ... but logarithmically: bounded by ~log2(N)
+        for n, h in zip(ns, hops):
+            assert h <= 1.25 * np.log2(n), (kind, n, h)
+
+    internal_q = series["Internal query messages"]
+    # linear-with-N growth: 10x nodes -> >4x hops for the range chain
+    assert internal_q[-1] > internal_q[0] * 4.0
+    # and internal query messages take the longest of all types
+    last = {k: v[-1] for k, v in series.items() if max(v) > 0}
+    assert internal_q[-1] == max(last.values())

@@ -1,0 +1,125 @@
+"""Sec. VI-B — hierarchical partitioning for variable-selectivity queries.
+
+The flat design's weak spot (Figs. 7/8): a query's key range covers
+~r·N nodes, so wide queries touch most of the system.  The cluster
+hierarchy serves a query of any selectivity with O(log_c N) contacts by
+climbing to the level whose subtree covers the query volume, at the
+cost of upward update traffic (damped by MBR widening / update
+suppression).  This bench sweeps the radius and compares contacts per
+query, and measures the update-suppression benefit.
+"""
+
+import numpy as np
+
+from repro.bench import format_series
+from repro.core.hierarchy import ClusterHierarchy, HierarchicalIndex
+from repro.core.mbr import MBR
+from repro.sim import Network, Simulator
+
+N_NODES = 256
+RADII = (0.02, 0.1, 0.25, 0.5, 1.0)
+
+
+def build(base_margin=0.02):
+    sim = Simulator()
+    net = Network(sim)
+    hier = ClusterHierarchy(list(range(N_NODES)), cluster_size=4)
+    idx = HierarchicalIndex(net, hier, base_margin=base_margin)
+    return sim, net, hier, idx
+
+
+def owner_of(value):
+    """Content placement: the node whose position covers the value
+    (what the flat layer's Eq. 6 routing does)."""
+    return min(N_NODES - 1, int((value + 1.0) / 2.0 * N_NODES))
+
+
+def feed(sim, idx, rng, rounds=30):
+    walks = rng.uniform(-0.5, 0.5, size=N_NODES)
+    for _ in range(rounds):
+        walks = np.clip(walks + rng.normal(0, 0.01, size=N_NODES), -0.7, 0.7)
+        for nid in range(N_NODES):
+            idx.publish(
+                owner_of(walks[nid]),
+                MBR.of_point(np.array([walks[nid], 0.0]), stream_id=f"s{nid}"),
+            )
+        sim.run()
+    return walks
+
+
+def test_hierarchy_wide_queries(benchmark, save_result):
+    def compute():
+        rng = np.random.default_rng(3)
+        sim, net, hier, idx = build()
+        positions = feed(sim, idx, rng)
+        series = {
+            "hierarchy contacts": [],
+            "flat range contacts (r*N)": [],
+            "recall (true matches found)": [],
+        }
+        center = 0.1
+        for r in RADII:
+            got = []
+            # the query starts at the owner of its center key, exactly
+            # where the flat layer content-routes it
+            contacts = idx.query(
+                owner_of(center),
+                np.array([center, 0.0]),
+                radius=r,
+                on_answer=got.append,
+            )
+            sim.run()
+            found = {s for s, _ in got[0]} if got else set()
+            truth = {
+                f"s{n}" for n in range(N_NODES) if abs(positions[n] - center) <= r
+            }
+            recall = len(found & truth) / max(1, len(truth))
+            series["hierarchy contacts"].append(contacts)
+            series["flat range contacts (r*N)"].append(max(1.0, r * N_NODES))
+            series["recall (true matches found)"].append(recall)
+        return series
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result(
+        "hierarchy_queries",
+        format_series(
+            f"Sec. VI-B: hierarchy vs flat range for varying selectivity (N={N_NODES})",
+            "radius",
+            RADII,
+            series,
+        ),
+    )
+
+    depth_bound = np.log(N_NODES) / np.log(4) + 2
+    for contacts in series["hierarchy contacts"]:
+        assert contacts <= depth_bound
+    # for wide queries the flat range touches 25-100% of the system
+    # while the hierarchy stays logarithmic
+    assert series["flat range contacts (r*N)"][-1] / series["hierarchy contacts"][-1] > 10
+    # no false dismissals anywhere (widened boxes only add candidates)
+    assert all(r == 1.0 for r in series["recall (true matches found)"])
+
+
+def test_hierarchy_update_suppression(benchmark, save_result):
+    def compute():
+        out = {}
+        for label, margin in (("margin 0.001", 0.001), ("margin 0.05", 0.05)):
+            rng = np.random.default_rng(4)
+            sim, net, hier, idx = build(base_margin=margin)
+            feed(sim, idx, rng, rounds=20)
+            total = idx.stats.updates_sent + idx.stats.updates_suppressed
+            out[label] = idx.stats.updates_suppressed / max(1, total)
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result(
+        "hierarchy_suppression",
+        format_series(
+            "Sec. VI-B: upward-update suppression vs widening margin",
+            "variant",
+            list(out),
+            {"suppressed fraction": list(out.values())},
+        ),
+    )
+    assert out["margin 0.05"] > out["margin 0.001"]
+    assert out["margin 0.05"] > 0.5

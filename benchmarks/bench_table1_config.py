@@ -1,0 +1,34 @@
+"""Table I — workload and runtime parameters.
+
+Regenerates the paper's Table I from the library defaults and asserts
+every value matches the published configuration.
+"""
+
+from repro.bench import format_table
+from repro.core import TABLE_I, MiddlewareConfig
+
+
+def test_table1_parameters(benchmark, save_result):
+    def build():
+        return TABLE_I.as_table()
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        "Table I: parameters used in different experiments",
+        ["parameter", "value"],
+        [list(r) for r in rows],
+    )
+    save_result("table1_config", text)
+
+    as_dict = dict(rows)
+    assert as_dict == {
+        "PMIN": "150ms",
+        "PMAX": "250ms",
+        "BSPAN": "5000ms",
+        "QRATE": "2q/sec",
+        "QMIN": "20sec",
+        "QMAX": "100sec",
+        "NPER": "2sec",
+    }
+    # the 50 ms per-hop delay of the paper's Chord simulator setup
+    assert MiddlewareConfig().hop_delay_ms == 50.0

@@ -1,0 +1,128 @@
+"""Sensor-fleet monitoring — pattern detection and threshold alerts.
+
+Two of the paper's motivating queries on one simulated sensor fleet:
+
+* *"Which temperature sensors currently exhibit some temperature
+  behavior pattern?"* — a continuous similarity query whose pattern is
+  a daily heat spike; sensors near the fault zone develop the spike,
+  the rest stay on the normal cycle.
+* *"Notify when the weighted average of the last 20 temperature
+  measurements of a sensor exceeds a threshold!"* — a continuous
+  inner-product query against one sensor, evaluated at its source from
+  the DFT summary (Eq. 7) and pushed to the client every NPER.
+
+Run:  python examples/sensor_fleet_monitor.py
+"""
+
+import numpy as np
+
+from repro.core import MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig, range_query
+
+N_SENSORS = 16
+FAULTY = {3, 7, 11}  # sensors that develop the heat-spike pattern
+WINDOW = 64
+DAY = 64  # samples per synthetic "day" (one full cycle per window)
+
+
+def sensor_signal(sensor_id: int, rng: np.random.Generator):
+    """A diurnal temperature cycle; faulty sensors add a sharp spike."""
+    state = {"t": 0}
+    phase = 0.0  # common phase: the fleet shares the same sun
+
+    def gen() -> float:
+        t = state["t"]
+        state["t"] += 1
+        base = 20.0 + 5.0 * np.sin(2 * np.pi * (t + phase) / DAY)
+        if sensor_id in FAULTY:
+            # a hot spike in the afternoon: second-harmonic bump
+            base += 4.0 * np.exp(-0.5 * (((t % DAY) - 0.7 * DAY) / (0.06 * DAY)) ** 2)
+        return float(base + rng.normal(0.0, 0.15))
+
+    return gen
+
+
+def spike_pattern() -> np.ndarray:
+    """The pattern a fleet operator would subscribe for: cycle + spike."""
+    t = np.arange(WINDOW)
+    base = 20.0 + 5.0 * np.sin(2 * np.pi * t / DAY)
+    spike = 4.0 * np.exp(-0.5 * ((t % DAY - 0.7 * DAY) / (0.06 * DAY)) ** 2)
+    return base + spike
+
+
+def main() -> None:
+    config = MiddlewareConfig(
+        window_size=WINDOW,
+        k=4,  # the spike lives in higher harmonics; keep a few more
+        batch_size=2,
+        workload=WorkloadConfig(qrate_per_s=0.0),
+    )
+    system = StreamIndexSystem(n_nodes=N_SENSORS, config=config, seed=5)
+    for i in range(N_SENSORS):
+        system.attach_stream(
+            system.app(i),
+            f"sensor-{i}",
+            sensor_signal(i, system.rngs.fork("sensor", i)),
+            period_ms=200.0,  # common sampling rate keeps the fleet in phase
+        )
+    system.warmup()
+
+    # --- similarity: which sensors show the heat-spike pattern? -------
+    operator = system.app(0)
+    qid = operator.post_similarity_query(
+        SimilarityQuery(pattern=spike_pattern(), radius=0.25, lifespan_ms=30_000.0)
+    )
+
+    # --- inner product: alert on the mean of the last 20 readings -----
+    watch = "sensor-3"
+    avg_query = range_query(watch, WINDOW - 20, WINDOW, lifespan_ms=30_000.0)
+    aid = operator.post_inner_product_query(avg_query)
+    threshold = 21.5
+
+    system.run(25_000.0)
+
+    # Stage 1 — candidates from the index: a guaranteed superset of the
+    # true matches (the spike's energy sits in harmonics above k, so
+    # low-frequency features cannot discriminate — but they never miss).
+    matches = {m.stream_id for m in operator.similarity_results[qid]}
+    expected = {f"sensor-{i}" for i in FAULTY}
+    print(f"stage 1 — index candidates: {len(matches)} sensors")
+    assert expected <= matches, f"missed faulty sensors: {expected - matches}"
+
+    # Stage 2 — refine each candidate against its raw window: the
+    # phase-aligned z-normalized distance to the pattern (min over
+    # circular shifts, since the fleet's diurnal phase rotates through
+    # the sliding window).
+    from repro.streams import z_normalize
+
+    zp = z_normalize(spike_pattern())
+    source_of = {sid: s for a in system.all_apps for sid, s in a.sources.items()}
+    confirmed = set()
+    for sid in sorted(matches):
+        w = source_of[sid].extractor.window.values()
+        zw = z_normalize(w)
+        d = min(
+            float(np.linalg.norm(np.roll(zw, shift) - zp)) for shift in range(WINDOW)
+        )
+        status = "FAULTY" if d <= 0.25 else "normal"
+        if d <= 0.25:
+            confirmed.add(sid)
+        print(f"  {sid:<10} aligned distance {d:.3f}  -> {status}")
+
+    print(f"stage 2 — confirmed faulty sensors: {sorted(confirmed)}")
+    assert confirmed == expected, (confirmed, expected)
+
+    results = operator.inner_product_results[aid]
+    assert results, "the source must push periodic inner-product results"
+    alerts = [r for r in results if r.value > threshold]
+    print(
+        f"\naverage-temperature watch on {watch}: {len(results)} readings pushed, "
+        f"{len(alerts)} above the {threshold:.1f}°C alert threshold"
+    )
+    for r in alerts[:5]:
+        print(f"  t={r.time / 1000:6.1f}s  avg(last 20) = {r.value:.2f}°C  ALERT")
+    # the diurnal cycle guarantees both alert and non-alert periods
+    assert alerts and len(alerts) < len(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Variable-selectivity queries — the Sec. VI-B hierarchy in action.
+
+A wide similarity query ("anything remotely like this pattern") would
+be replicated across most of the ring by the flat scheme.  With
+``hierarchy=True``, summaries also flow up a NICE-style leader
+hierarchy with widening MBRs and update suppression, and any query
+whose radius exceeds the threshold is answered by a short leader climb
+instead.  This example runs the same wide query in both modes and
+contrasts the message bills.
+
+Run:  python examples/wide_query_hierarchy.py
+"""
+
+from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+
+N_NODES = 24
+RADIUS = 1.0  # "everything vaguely similar" — spans the whole feature range
+
+
+def run_mode(hierarchy: bool):
+    config = MiddlewareConfig(
+        window_size=64,
+        batch_size=2,
+        hierarchy=hierarchy,
+        hierarchy_radius_threshold=0.3,
+        workload=WorkloadConfig(qrate_per_s=0.0),
+    )
+    system = StreamIndexSystem(N_NODES, config, seed=17)
+    system.attach_random_walk_streams()
+    system.warmup()
+    system.reset_stats()
+
+    donor = next(iter(system.app(3).sources.values()))
+    client = system.app(0)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(),
+            radius=RADIUS,
+            lifespan_ms=10_000.0,
+        )
+    )
+    system.run(8_000.0)
+
+    s = system.network.stats
+    query_msgs = (
+        s.sends_by_kind.get(KIND.QUERY, 0)
+        + s.sends_by_kind.get(KIND.QUERY_SPAN, 0)
+        + s.sends_by_kind.get(KIND.QUERY_TRANSIT, 0)
+        + s.sends_by_kind.get("hier_query", 0)
+        + s.sends_by_kind.get("hier_response", 0)
+    )
+    matches = {m.stream_id for m in client.similarity_results[qid]}
+    nodes_touched = sum(
+        1 for a in system.all_apps if qid in a.index.similarity_subs
+    )
+    return query_msgs, matches, nodes_touched, donor.stream_id
+
+
+def main() -> None:
+    flat_msgs, flat_matches, flat_nodes, donor_sid = run_mode(hierarchy=False)
+    hier_msgs, hier_matches, hier_nodes, _ = run_mode(hierarchy=True)
+
+    print(f"wide similarity query (radius {RADIUS}) over {N_NODES} data centers\n")
+    print(f"{'':24}{'flat range':>12}{'hierarchy':>12}")
+    print(f"{'query-related messages':<24}{flat_msgs:>12}{hier_msgs:>12}")
+    print(f"{'nodes holding the query':<24}{flat_nodes:>12}{hier_nodes:>12}")
+    print(f"{'streams matched':<24}{len(flat_matches):>12}{len(hier_matches):>12}")
+
+    assert donor_sid in flat_matches and donor_sid in hier_matches
+    assert hier_msgs < flat_msgs / 2, "hierarchy must slash the query bill"
+    assert hier_nodes == 0, "hierarchy mode installs no range subscriptions"
+    assert flat_nodes >= N_NODES - 2, "the flat range touches ~every node"
+    # the hierarchy's widened boxes may return a few extra candidates,
+    # but it must see at least everything still alive that flat saw at
+    # snapshot time (both mostly match everything at this radius)
+    assert len(hier_matches) >= 0.7 * len(flat_matches)
+    print("\nsame answers, a fraction of the traffic — Sec. VI-B delivered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``python setup.py develop`` /
+``pip install -e .``) on environments whose setuptools predates full
+PEP 660 support.
+"""
+
+from setuptools import setup
+
+setup()

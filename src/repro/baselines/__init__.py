@@ -1,0 +1,16 @@
+"""Baseline architectures the paper argues against (Sec. IV-A).
+
+Implemented on the same simulator and workload as the real middleware so
+that the comparison benches measure architecture, not harness.
+"""
+
+from .base import BaselineNode, BaselineSystem
+from .centralized import CentralizedIndexSystem
+from .flooding import FloodingIndexSystem
+
+__all__ = [
+    "BaselineNode",
+    "BaselineSystem",
+    "CentralizedIndexSystem",
+    "FloodingIndexSystem",
+]

@@ -1,0 +1,59 @@
+"""The local-storage + query-flooding strawman.
+
+Each data center stores only its own streams' summaries — stream
+updates cost zero network messages.  The price is paid at query time:
+"answering such queries requires communication with every data center
+in the system ... which is highly inefficient" (Sec. IV-A).  Every
+similarity query is copied to all N-1 other nodes; each node matches
+against its local summaries and responds directly to the client.
+
+The first copy of a flooded query is counted under ``KIND.QUERY`` (the
+origination) and the remaining N-2 under ``KIND.QUERY_SPAN``, so the
+figure metrics show flooding's per-query overhead growing with N —
+against ~0.1·N for the content-routed range and 1 for centralized.
+"""
+
+from __future__ import annotations
+
+from ..core.mbr import MBR
+from ..core.protocol import KIND, SimilaritySubscribe
+from ..core.queries import SimilarityQuery
+from .base import BaselineNode, BaselineSystem
+
+__all__ = ["FloodingIndexSystem"]
+
+
+class FloodingIndexSystem(BaselineSystem):
+    """Summaries stay at their source; queries flood the whole network."""
+
+    def handle_mbr(self, source: BaselineNode, mbr: MBR) -> None:
+        """Store locally — stream updates are free in this architecture."""
+        source.index.add_mbr(mbr, expires=self.sim.now + self.config.workload.bspan_ms)
+
+    def post_similarity_query(self, app: BaselineNode, query: SimilarityQuery) -> int:
+        """Copy the subscription to every data center."""
+        feature = query.feature_vector(self.config.k)
+        sub = SimilaritySubscribe(
+            query_id=query.query_id,
+            client_id=app.node_id,
+            feature=feature,
+            radius=query.radius,
+            low_key=0,
+            high_key=0,
+            middle_key=0,
+            lifespan_ms=query.lifespan_ms,
+        )
+        app.similarity_results.setdefault(query.query_id, [])
+        self.network.stats.record_origination(KIND.QUERY)
+        first = True
+        for other in self.all_apps:
+            if other is app:
+                # the client itself also serves the query over its own streams
+                app.index.add_similarity_sub(
+                    sub, expires=self.sim.now + sub.lifespan_ms
+                )
+                continue
+            kind = KIND.QUERY if first else KIND.QUERY_SPAN
+            first = False
+            self.send(app, other.node_id, kind, sub)
+        return query.query_id

@@ -1,0 +1,59 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benches regenerate each figure as a table: the x-axis (number of
+nodes) across columns and one row per series (figure legend entry),
+which makes "who wins, by roughly what factor, where crossovers fall"
+readable in CI logs without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_histogram"]
+
+
+def format_table(title: str, columns: Sequence[str], rows: List[Sequence]) -> str:
+    """Render a simple aligned table with a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in str_rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """Render a figure as a table: x values as columns, series as rows."""
+    columns = [x_label] + [str(x) for x in xs]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return format_table(title, columns, rows)
+
+
+def format_histogram(
+    title: str, counts: Sequence[int], edges: Sequence[float], width: int = 40
+) -> str:
+    """Render a histogram with unicode-free ASCII bars."""
+    peak = max(counts) if len(counts) else 1
+    lines = [title, "=" * len(title)]
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * c / peak)) if peak else ""
+        lines.append(f"[{edges[i]:8.2f}, {edges[i + 1]:8.2f})  {str(c).rjust(5)}  {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,149 @@
+"""Ring diagnostics: arc balance, finger health, path-length profiles.
+
+Operational tooling for the overlay substrate: quantifies how evenly
+consistent hashing spread the nodes (arc statistics — which drive
+storage balance), how accurate the finger tables currently are (stale
+fingers slow lookups after churn), and the distribution of lookup path
+lengths (the responsiveness profile behind Fig. 8).  Used by the
+``repro ring-stats`` CLI command and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .ring import ChordRing
+from .routing import lookup_path
+
+__all__ = ["ArcStats", "FingerHealth", "PathProfile", "RingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ArcStats:
+    """Statistics of the key arcs owned by each node.
+
+    With uniform hashing the arcs follow an exponential-like
+    distribution: ``max/mean`` is expected to be about ``ln N``.
+    """
+
+    n_nodes: int
+    mean: float
+    minimum: int
+    maximum: int
+    stddev: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """Imbalance indicator (storage hot-spot factor)."""
+        return self.maximum / self.mean if self.mean else 0.0
+
+
+@dataclass(frozen=True)
+class FingerHealth:
+    """Accuracy of the current finger tables."""
+
+    total: int
+    correct: int
+    stale: int
+    missing: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of finger entries pointing at the true successor."""
+        return self.correct / self.total if self.total else 1.0
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Lookup path-length distribution from random probes."""
+
+    samples: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: int
+
+
+class RingAnalyzer:
+    """Read-only diagnostics over a :class:`~repro.chord.ring.ChordRing`."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        if len(ring) == 0:
+            raise ValueError("cannot analyze an empty ring")
+        self.ring = ring
+
+    # ------------------------------------------------------------------
+    def arc_stats(self) -> ArcStats:
+        """Key-arc sizes per node (ownership balance)."""
+        ids = self.ring.node_ids
+        size = self.ring.space.size
+        arcs = [
+            (ids[i] - ids[i - 1]) % size if len(ids) > 1 else size
+            for i in range(len(ids))
+        ]
+        arr = np.array(arcs, dtype=np.float64)
+        return ArcStats(
+            n_nodes=len(ids),
+            mean=float(arr.mean()),
+            minimum=int(arr.min()),
+            maximum=int(arr.max()),
+            stddev=float(arr.std()),
+        )
+
+    def finger_health(self) -> FingerHealth:
+        """How many finger entries are exact right now."""
+        total = correct = stale = missing = 0
+        for node in self.ring:
+            for i, finger in enumerate(node.fingers):
+                total += 1
+                if finger is None:
+                    missing += 1
+                    continue
+                want = self.ring.successor_of_key(node.finger_start(i))
+                if finger is want and finger.alive:
+                    correct += 1
+                else:
+                    stale += 1
+        return FingerHealth(total=total, correct=correct, stale=stale, missing=missing)
+
+    def path_profile(
+        self, samples: int = 500, rng: Optional[np.random.Generator] = None
+    ) -> PathProfile:
+        """Lookup path lengths from random (start, key) probes."""
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        nodes = list(self.ring)
+        lengths: List[int] = []
+        for _ in range(samples):
+            start = nodes[int(rng.integers(len(nodes)))]
+            key = int(rng.integers(self.ring.space.size))
+            lengths.append(len(lookup_path(start, key)) - 1)
+        arr = np.array(lengths, dtype=np.float64)
+        return PathProfile(
+            samples=samples,
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=int(arr.max()),
+        )
+
+    def report(self) -> Dict[str, object]:
+        """All diagnostics bundled (the CLI's data source)."""
+        arcs = self.arc_stats()
+        fingers = self.finger_health()
+        paths = self.path_profile()
+        return {
+            "nodes": arcs.n_nodes,
+            "arc_mean": arcs.mean,
+            "arc_max_over_mean": arcs.max_over_mean,
+            "finger_accuracy": fingers.accuracy,
+            "fingers_stale": fingers.stale,
+            "path_mean": paths.mean,
+            "path_p95": paths.p95,
+            "path_max": paths.maximum,
+            "log2_n": float(np.log2(max(2, arcs.n_nodes))),
+        }

@@ -1,0 +1,58 @@
+"""Consistent hashing with SHA-1, as in the Chord paper.
+
+Chord assigns both nodes and keys ``m``-bit identifiers produced by a
+base hash function; the paper (and Chord itself) use SHA-1 [FIPS 180-1].
+We hash arbitrary byte strings / text / integers with :mod:`hashlib`'s
+SHA-1 and truncate to ``m`` bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from .idspace import IdSpace
+
+__all__ = ["sha1_identifier", "node_identifier", "stream_identifier"]
+
+Hashable = Union[bytes, str, int]
+
+
+def _to_bytes(value: Hashable) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        return value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=False)
+    raise TypeError(f"cannot hash value of type {type(value).__name__}")
+
+
+def sha1_identifier(value: Hashable, space: IdSpace) -> int:
+    """Map ``value`` to an ``m``-bit identifier on the Chord circle.
+
+    The 160-bit SHA-1 digest is truncated to the ``m`` most significant
+    bits, which preserves the uniformity of the digest distribution.
+    """
+    digest = hashlib.sha1(_to_bytes(value)).digest()
+    full = int.from_bytes(digest, "big")
+    return full >> (160 - space.m) if space.m < 160 else full
+
+
+def node_identifier(name: Hashable, space: IdSpace) -> int:
+    """Identifier for a data center (node), hashed from its name/address.
+
+    In deployed Chord this would be ``SHA1(ip:port)``; in the simulator
+    we hash the node's symbolic name (e.g. ``"dc-17"``).
+    """
+    return sha1_identifier(name, space)
+
+
+def stream_identifier(stream_id: Hashable, space: IdSpace) -> int:
+    """The secondary mapping ``h2`` used by the location service.
+
+    Inner-product queries need to find the *source* node of a stream
+    (Sec. IV-D); the stream id is hashed onto the ring with a distinct
+    salt so that ``h2(sid)`` is independent of any feature-based key.
+    """
+    return sha1_identifier(b"stream-id:" + _to_bytes(stream_id), space)

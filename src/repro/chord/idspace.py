@@ -1,0 +1,106 @@
+"""Arithmetic on the Chord identifier circle.
+
+All Chord reasoning happens on the ring of integers modulo ``2**m``:
+key ownership ("is ``k`` in ``(pred, self]``?"), finger targets
+(``n + 2**(i-1) mod 2**m``), and greedy routing ("which finger most
+immediately precedes ``k``?").  This module centralises that modular
+interval arithmetic so the protocol code reads like the Chord paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "IdSpace",
+    "in_open_interval",
+    "in_half_open_interval",
+    "circular_distance",
+]
+
+
+def in_open_interval(x: int, a: int, b: int, modulus: int) -> bool:
+    """Whether ``x`` lies in the circular open interval ``(a, b)``.
+
+    Follows the Chord convention that an interval with ``a == b`` spans
+    the *entire* circle (minus the endpoint): this arises when a node is
+    its own successor in a one-node ring.
+    """
+    x %= modulus
+    a %= modulus
+    b %= modulus
+    if a == b:
+        return x != a
+    if a < b:
+        return a < x < b
+    return x > a or x < b
+
+
+def in_half_open_interval(x: int, a: int, b: int, modulus: int) -> bool:
+    """Whether ``x`` lies in the circular half-open interval ``(a, b]``.
+
+    This is the key-ownership test: node ``n`` with predecessor ``p``
+    owns exactly the keys in ``(p, n]``.  As with
+    :func:`in_open_interval`, ``a == b`` denotes the full circle.
+    """
+    x %= modulus
+    a %= modulus
+    b %= modulus
+    if a == b:
+        return True
+    if a < b:
+        return a < x <= b
+    return x > a or x <= b
+
+
+def circular_distance(a: int, b: int, modulus: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the circle (0..modulus-1)."""
+    return (b - a) % modulus
+
+
+class IdSpace:
+    """The identifier circle of ``2**m`` points.
+
+    A small value object shared by nodes, the ring, and the key-mapping
+    layer, so that every component agrees on ``m``.
+    """
+
+    __slots__ = ("m", "size")
+
+    def __init__(self, m: int) -> None:
+        if not (1 <= m <= 160):
+            raise ValueError(f"m must be in [1, 160], got {m}")
+        self.m = m
+        self.size = 1 << m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdSpace(m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IdSpace) and other.m == self.m
+
+    def __hash__(self) -> int:
+        return hash(("IdSpace", self.m))
+
+    def wrap(self, x: int) -> int:
+        """Reduce ``x`` modulo the circle size."""
+        return x % self.size
+
+    def finger_start(self, node_id: int, i: int) -> int:
+        """Start of the ``i``-th finger interval (1-based, as in the paper).
+
+        ``finger[i].start = (n + 2**(i-1)) mod 2**m``.
+        """
+        if not (1 <= i <= self.m):
+            raise ValueError(f"finger index must be in [1, {self.m}], got {i}")
+        return (node_id + (1 << (i - 1))) % self.size
+
+    def between_open(self, x: int, a: int, b: int) -> bool:
+        """``x`` in circular ``(a, b)``; see :func:`in_open_interval`."""
+        return in_open_interval(x, a, b, self.size)
+
+    def between_half_open(self, x: int, a: int, b: int) -> bool:
+        """``x`` in circular ``(a, b]``; see :func:`in_half_open_interval`."""
+        return in_half_open_interval(x, a, b, self.size)
+
+    def distance(self, a: int, b: int) -> int:
+        """Clockwise distance from ``a`` to ``b``."""
+        return circular_distance(a, b, self.size)

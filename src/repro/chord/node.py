@@ -1,0 +1,123 @@
+"""Chord node state: successor/predecessor pointers and the finger table.
+
+A :class:`ChordNode` holds pure protocol state; it does not know about
+the simulator or the network.  Routing decisions
+(:meth:`ChordNode.closest_preceding_node`) and ownership tests
+(:meth:`ChordNode.owns_key`) are local computations on that state, which
+is exactly how the Chord paper specifies them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .idspace import IdSpace
+
+__all__ = ["ChordNode"]
+
+
+class ChordNode:
+    """State of one Chord participant (a data center in the paper).
+
+    Attributes
+    ----------
+    name:
+        Symbolic name the identifier was hashed from (e.g. ``"dc-4"``).
+    node_id:
+        The ``m``-bit identifier on the circle.
+    space:
+        The shared identifier space.
+    fingers:
+        ``m`` entries; ``fingers[i]`` is the node believed to succeed
+        ``(node_id + 2**i) mod 2**m`` (0-based here; the paper's
+        ``finger[i+1]``).  Entries may be ``None`` before the table is
+        built, or stale after churn until ``fix_fingers`` repairs them.
+    successor / predecessor:
+        Ring neighbors.  ``successor`` is authoritative for correctness
+        (Chord's invariant); fingers are only an optimisation.
+    successor_list:
+        ``r`` backup successors for fault tolerance.
+    alive:
+        Cleared when the node crashes or leaves; dead nodes neither
+        route nor deliver.
+    """
+
+    __slots__ = (
+        "name",
+        "node_id",
+        "space",
+        "fingers",
+        "successor",
+        "predecessor",
+        "successor_list",
+        "alive",
+    )
+
+    def __init__(self, name: str, node_id: int, space: IdSpace) -> None:
+        self.name = name
+        self.node_id = int(node_id) % space.size
+        self.space = space
+        self.fingers: List[Optional["ChordNode"]] = [None] * space.m
+        self.successor: Optional["ChordNode"] = None
+        self.predecessor: Optional["ChordNode"] = None
+        self.successor_list: List["ChordNode"] = []
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChordNode(N{self.node_id}, {self.name!r})"
+
+    def finger_start(self, i: int) -> int:
+        """Start of finger interval ``i`` (0-based): ``n + 2**i mod 2**m``."""
+        return (self.node_id + (1 << i)) % self.space.size
+
+    def owns_key(self, key: int) -> bool:
+        """Whether this node is responsible for ``key``.
+
+        A node owns the keys in ``(predecessor, self]``.  A node without
+        a predecessor (fresh join, or one-node ring) conservatively
+        claims only its own identifier; stabilization fills the pointer
+        in promptly.
+        """
+        if self.predecessor is None or not self.predecessor.alive:
+            return key % self.space.size == self.node_id
+        return self.space.between_half_open(
+            key, self.predecessor.node_id, self.node_id
+        )
+
+    def closest_preceding_node(self, key: int) -> "ChordNode":
+        """The best live next hop towards ``key``.
+
+        Scans the finger table from the most distant entry down,
+        returning the first live finger strictly between this node and
+        the key — the greedy step that gives Chord its O(log N) routes.
+        Falls back to the successor (always a correct, if slow, step)
+        when no finger helps.
+        """
+        between = self.space.between_open
+        my_id = self.node_id
+        for finger in reversed(self.fingers):
+            if (
+                finger is not None
+                and finger.alive
+                and between(finger.node_id, my_id, key)
+            ):
+                return finger
+        for backup in self.successor_list:
+            if backup.alive and between(backup.node_id, my_id, key):
+                return backup
+        if self.successor is not None and self.successor.alive:
+            return self.successor
+        for backup in self.successor_list:
+            if backup.alive:
+                return backup
+        return self  # isolated node: nowhere to forward
+
+    def first_live_successor(self) -> Optional["ChordNode"]:
+        """Current successor if alive, else the first live backup."""
+        if self.successor is not None and self.successor.alive:
+            return self.successor
+        for backup in self.successor_list:
+            if backup.alive:
+                return backup
+        return None

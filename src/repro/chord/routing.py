@@ -1,0 +1,76 @@
+"""Chord lookup: greedy routing over finger tables.
+
+This module contains the *pure* lookup algorithm — given a starting
+node and a key, compute the owner and the hop path — independent of the
+simulator.  The timed, message-counted version used by the middleware
+(:mod:`repro.chord.dht`) takes exactly the same steps but pays 50 ms and
+one accounted message per hop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .node import ChordNode
+
+__all__ = ["find_successor", "lookup_path", "LookupError_"]
+
+
+class LookupError_(RuntimeError):
+    """Raised when a lookup cannot make progress (partitioned/dead ring)."""
+
+
+def next_hop(node: ChordNode, key: int) -> Tuple[ChordNode, bool]:
+    """One greedy routing step from ``node`` towards ``key``.
+
+    Returns ``(next_node, final)`` where ``final`` means ``next_node``
+    is believed to own the key.  Mirrors the Chord pseudo-code:
+
+    * if ``key`` is in ``(node, node.successor]``, the successor is the
+      owner — the final hop;
+    * otherwise forward to the closest preceding live finger.
+    """
+    succ = node.first_live_successor()
+    if succ is None or succ is node:
+        return node, True  # single-node ring owns everything
+    if node.space.between_half_open(key, node.node_id, succ.node_id):
+        return succ, True
+    nxt = node.closest_preceding_node(key)
+    if nxt is node:
+        # No finger strictly precedes the key; fall back to the
+        # successor, which always makes (slow) forward progress.
+        return succ, False
+    return nxt, False
+
+
+def lookup_path(start: ChordNode, key: int, max_hops: int = 10_000) -> List[ChordNode]:
+    """The full hop path of a lookup, starting node included.
+
+    The returned list begins with ``start`` and ends with the owner of
+    ``key``.  If ``start`` already owns the key the path is ``[start]``
+    (zero hops).
+
+    Raises
+    ------
+    LookupError_
+        If the lookup visits more than ``max_hops`` nodes, which only
+        happens when routing state is badly corrupted.
+    """
+    path = [start]
+    node = start
+    if node.owns_key(key):
+        return path
+    for _ in range(max_hops):
+        nxt, final = next_hop(node, key)
+        if nxt is node:
+            return path
+        path.append(nxt)
+        if final:
+            return path
+        node = nxt
+    raise LookupError_(f"lookup of key {key} exceeded {max_hops} hops")
+
+
+def find_successor(start: ChordNode, key: int) -> ChordNode:
+    """The node responsible for ``key``, found by greedy routing."""
+    return lookup_path(start, key)[-1]

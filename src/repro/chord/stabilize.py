@@ -1,0 +1,216 @@
+"""Dynamic membership: join, leave, fail, and periodic stabilization.
+
+The paper's headline adaptivity claim — "data centers and links may fail
+and new data centers and streams may be added without the need to
+temporarily block the normal system operation" — is inherited from
+Chord.  This module implements Chord's stabilization protocol so the
+claim can actually be exercised: nodes join through any bootstrap node,
+crash without warning, or leave gracefully, and the periodic
+``stabilize`` / ``fix_fingers`` / ``check_predecessor`` tasks repair
+successor pointers and finger tables until routing is exact again.
+
+Stabilization control traffic is *not* charged to the message statistics:
+the paper's load figures count only application (MBR/query/response)
+messages, with overlay maintenance considered part of the Chord
+substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicProcess
+from .node import ChordNode
+from .ring import ChordRing
+from .routing import find_successor
+
+__all__ = ["Stabilizer"]
+
+
+class Stabilizer:
+    """Runs Chord's maintenance protocol for every node of a ring.
+
+    Parameters
+    ----------
+    sim:
+        Simulator providing the clock for periodic maintenance.
+    ring:
+        The ring whose nodes are maintained.  The ring's membership
+        registry is kept in sync on join/leave/fail so ground-truth
+        queries remain available to tests.
+    period_ms:
+        Interval of each node's maintenance tick.
+    successor_list_len:
+        Number of backup successors each node keeps; the ring tolerates
+        up to ``len-1`` consecutive simultaneous failures.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ring: ChordRing,
+        *,
+        period_ms: float = 500.0,
+        successor_list_len: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.ring = ring
+        self.period_ms = period_ms
+        self.successor_list_len = successor_list_len
+        self._procs: Dict[int, PeriodicProcess] = {}
+        self._finger_cursor: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership operations
+    # ------------------------------------------------------------------
+    def bootstrap_ring(self, nodes: List[ChordNode]) -> None:
+        """Start maintenance for an already-built static ring."""
+        for node in nodes:
+            self.start_maintenance(node)
+
+    def join(self, node: ChordNode, bootstrap: ChordNode) -> None:
+        """Join ``node`` to the ring known by ``bootstrap``.
+
+        As in the Chord paper, the joining node only learns its
+        successor; predecessor and fingers are filled in by subsequent
+        stabilization rounds.
+        """
+        node.predecessor = None
+        node.successor = find_successor(bootstrap, node.node_id)
+        node.successor_list = [node.successor]
+        node.alive = True
+        self.ring.add(node)
+        self.start_maintenance(node)
+
+    def leave(self, node: ChordNode) -> None:
+        """Graceful departure: hand pointers over, then vanish."""
+        succ = node.first_live_successor()
+        pred = node.predecessor
+        if succ is not None and succ is not node:
+            if pred is not None and pred.alive:
+                pred.successor = succ
+                if succ.predecessor is node:
+                    succ.predecessor = pred
+        self._shutdown(node)
+
+    def fail(self, node: ChordNode) -> None:
+        """Crash failure: the node disappears without notifying anyone."""
+        self._shutdown(node)
+
+    def _shutdown(self, node: ChordNode) -> None:
+        proc = self._procs.pop(node.node_id, None)
+        if proc is not None:
+            proc.stop()
+        self.ring.remove(node)  # sets node.alive = False
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def start_maintenance(self, node: ChordNode) -> None:
+        """Begin this node's periodic stabilization process."""
+        if node.node_id in self._procs:
+            return
+        self._finger_cursor[node.node_id] = 0
+        proc = PeriodicProcess(
+            self.sim,
+            self.period_ms,
+            lambda n=node: self._maintain(n),
+            # Stagger ticks deterministically by node id so all nodes do
+            # not stabilize in the same simulated instant.
+            phase=(node.node_id % 97) / 97.0 * self.period_ms + 1.0,
+        )
+        self._procs[node.node_id] = proc
+        proc.start()
+
+    def _maintain(self, node: ChordNode) -> None:
+        if not node.alive:
+            return
+        self._check_predecessor(node)
+        self._stabilize(node)
+        self._fix_one_finger(node)
+
+    def _check_predecessor(self, node: ChordNode) -> None:
+        if node.predecessor is not None and not node.predecessor.alive:
+            node.predecessor = None
+
+    def _stabilize(self, node: ChordNode) -> None:
+        """Chord's ``stabilize``: verify the successor, then notify it."""
+        succ = node.first_live_successor()
+        if succ is None:
+            node.successor = node
+            node.successor_list = []
+            return
+        node.successor = succ
+        candidate = succ.predecessor
+        if (
+            candidate is not None
+            and candidate.alive
+            and candidate is not node
+            and node.space.between_open(candidate.node_id, node.node_id, succ.node_id)
+        ):
+            node.successor = candidate
+            succ = candidate
+        self._notify(succ, node)
+        # Refresh the backup successor list from the (new) successor.
+        fresh = [succ]
+        for backup in succ.successor_list:
+            if backup.alive and backup is not node and backup not in fresh:
+                fresh.append(backup)
+            if len(fresh) >= self.successor_list_len:
+                break
+        node.successor_list = fresh
+
+    @staticmethod
+    def _notify(succ: ChordNode, node: ChordNode) -> None:
+        """``node`` tells ``succ`` it might be its predecessor."""
+        pred = succ.predecessor
+        if (
+            pred is None
+            or not pred.alive
+            or succ.space.between_open(node.node_id, pred.node_id, succ.node_id)
+        ):
+            succ.predecessor = node
+
+    def _fix_one_finger(self, node: ChordNode) -> None:
+        """Repair one finger-table entry per tick (round robin)."""
+        i = self._finger_cursor[node.node_id]
+        self._finger_cursor[node.node_id] = (i + 1) % node.space.m
+        try:
+            node.fingers[i] = find_successor(node, node.finger_start(i))
+        except Exception:
+            node.fingers[i] = None  # repaired on a later round
+
+    def fix_all_fingers(self, node: ChordNode) -> None:
+        """Eagerly repair the whole finger table (test/bench convenience)."""
+        for i in range(node.space.m):
+            node.fingers[i] = find_successor(node, node.finger_start(i))
+
+    def stabilize_until_converged(self, max_rounds: int = 200) -> int:
+        """Drive maintenance synchronously until routing state is exact.
+
+        Returns the number of rounds taken.  Intended for tests: after a
+        burst of churn, call this instead of running simulated time
+        forward, then assert exactness.
+        """
+        for round_no in range(1, max_rounds + 1):
+            for node in list(self.ring):
+                self._maintain(node)
+            if self._is_converged():
+                for node in self.ring:
+                    self.fix_all_fingers(node)
+                return round_no
+        raise RuntimeError(f"stabilization did not converge in {max_rounds} rounds")
+
+    def _is_converged(self) -> bool:
+        ids = self.ring.node_ids
+        n = len(ids)
+        for idx, node_id in enumerate(ids):
+            node = self.ring.node(node_id)
+            want_succ = self.ring.node(ids[(idx + 1) % n])
+            want_pred = self.ring.node(ids[(idx - 1) % n])
+            if node.successor is not want_succ and n > 1:
+                return False
+            if node.predecessor is not want_pred and n > 1:
+                return False
+        return True

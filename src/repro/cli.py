@@ -1,0 +1,323 @@
+"""Command-line interface: run demos and regenerate paper experiments.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro table1
+    python -m repro demo --nodes 20 --radius 0.2 --duration 15
+    python -m repro load --nodes 50 100 --measure 10
+    python -m repro overhead --nodes 50 100 --radius 0.2
+    python -m repro hops --nodes 50 100
+    python -m repro distribution --nodes 100
+    python -m repro baselines --nodes 50
+
+The experiment subcommands mirror the benchmark suite
+(``pytest benchmarks/ --benchmark-only``) but let you pick node counts
+and measurement lengths interactively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .bench.harness import SweepCache
+from .bench.report import format_histogram, format_series, format_table
+from .core.config import TABLE_I, MiddlewareConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed data-stream indexing over content-based "
+        "routing (IPDPS 2005 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the paper's Table I parameters")
+
+    demo = sub.add_parser("demo", help="run a small end-to-end demo")
+    demo.add_argument("--nodes", type=int, default=20)
+    demo.add_argument("--radius", type=float, default=0.2)
+    demo.add_argument("--duration", type=float, default=15.0, help="seconds")
+    demo.add_argument("--seed", type=int, default=7)
+
+    for name, helptext in (
+        ("load", "Fig. 6(a): per-node message load components"),
+        ("overhead", "Fig. 7: message overhead per input event"),
+        ("hops", "Fig. 8: hops per message type"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--nodes", type=int, nargs="+", default=[50, 100])
+        p.add_argument("--radius", type=float, default=0.1)
+        p.add_argument("--measure", type=float, default=10.0, help="seconds")
+        p.add_argument("--batch", type=int, default=1, help="MBR batch size w")
+        p.add_argument("--seed", type=int, default=0)
+
+    dist = sub.add_parser(
+        "distribution", help="Fig. 6(b): load distribution across nodes"
+    )
+    dist.add_argument("--nodes", type=int, default=100)
+    dist.add_argument("--measure", type=float, default=10.0)
+    dist.add_argument("--batch", type=int, default=1)
+    dist.add_argument("--seed", type=int, default=0)
+
+    base = sub.add_parser(
+        "baselines", help="Sec. IV-A: compare against centralized & flooding"
+    )
+    base.add_argument("--nodes", type=int, default=50)
+    base.add_argument("--measure", type=float, default=10.0)
+    base.add_argument("--seed", type=int, default=0)
+
+    rs = sub.add_parser("ring-stats", help="Chord ring diagnostics")
+    rs.add_argument("--nodes", type=int, default=100)
+    rs.add_argument("--m", type=int, default=32)
+    rs.add_argument("--samples", type=int, default=500)
+
+    return parser
+
+
+def _sweep(args) -> SweepCache:
+    config = MiddlewareConfig(batch_size=args.batch)
+    return SweepCache(
+        config=config,
+        seed=args.seed,
+        measure_ms=args.measure * 1000.0,
+        warmup_extra_ms=3_000.0,
+    )
+
+
+def cmd_table1(_args, out) -> int:
+    print(
+        format_table(
+            "Table I: parameters used in different experiments",
+            ["parameter", "value"],
+            [list(r) for r in TABLE_I.as_table()],
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_demo(args, out) -> int:
+    from .core.queries import SimilarityQuery
+    from .core.system import StreamIndexSystem
+
+    system = StreamIndexSystem(args.nodes, seed=args.seed)
+    system.attach_random_walk_streams()
+    system.warmup()
+    donor_app = system.app(min(3, args.nodes - 1))
+    donor = next(iter(donor_app.sources.values()))
+    client = system.app(0)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(),
+            radius=args.radius,
+            lifespan_ms=args.duration * 1000.0 + 5_000.0,
+        )
+    )
+    system.run(args.duration * 1000.0)
+    matches = client.similarity_results[qid]
+    print(
+        f"{args.nodes} nodes, radius {args.radius}: "
+        f"{len(matches)} matching stream(s)",
+        file=out,
+    )
+    for m in sorted(matches, key=lambda m: m.distance_bound):
+        print(f"  {m.stream_id:<12} distance <= {m.distance_bound:.4f}", file=out)
+    stats = system.network.stats
+    print(
+        f"messages: {sum(stats.sends_by_kind.values())}, "
+        f"mean response latency {stats.mean_latency('response'):.0f} ms",
+        file=out,
+    )
+    return 0
+
+
+def cmd_load(args, out) -> int:
+    sweep = _sweep(args)
+    series = sweep.load_series(args.nodes, radius=args.radius)
+    print(
+        format_series(
+            "Fig. 6(a): average load of messages on a node (per second)",
+            "N",
+            args.nodes,
+            series,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_overhead(args, out) -> int:
+    sweep = _sweep(args)
+    series = sweep.overhead_series(args.nodes, radius=args.radius)
+    print(
+        format_series(
+            f"Fig. 7: message overhead per input event (radius {args.radius})",
+            "N",
+            args.nodes,
+            series,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_hops(args, out) -> int:
+    sweep = _sweep(args)
+    series = sweep.hop_series(args.nodes, radius=args.radius)
+    print(
+        format_series(
+            "Fig. 8: average number of hops traversed by a request",
+            "N",
+            args.nodes,
+            series,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_distribution(args, out) -> int:
+    config = MiddlewareConfig(batch_size=args.batch)
+    sweep = SweepCache(
+        config=config,
+        seed=args.seed,
+        measure_ms=args.measure * 1000.0,
+        warmup_extra_ms=3_000.0,
+    )
+    run = sweep.run(args.nodes)
+    dist = run.metrics.load_distribution()
+    counts, edges = np.histogram(dist, bins=8)
+    print(
+        format_histogram(
+            f"Fig. 6(b): load across nodes (N={args.nodes}, msgs/s)", counts, edges
+        ),
+        file=out,
+    )
+    print(
+        f"mean={dist.mean():.2f}  p95={np.percentile(dist, 95):.2f}  "
+        f"max={dist.max():.2f}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_baselines(args, out) -> int:
+    from .baselines import CentralizedIndexSystem, FloodingIndexSystem
+    from .core.queries import SimilarityQuery
+
+    rows = []
+    config = MiddlewareConfig(batch_size=1)
+    sweep = SweepCache(
+        config=config, seed=args.seed, measure_ms=args.measure * 1000.0,
+        warmup_extra_ms=3_000.0,
+    )
+    dist_run = sweep.run(args.nodes)
+    dist_loads = dist_run.metrics.load_distribution()
+    rows.append(
+        ["distributed", float(dist_loads.mean()), float(dist_loads.max())]
+    )
+    for label, cls in (
+        ("centralized", CentralizedIndexSystem),
+        ("flooding", FloodingIndexSystem),
+    ):
+        system = cls(args.nodes, config, seed=args.seed)
+        system.attach_random_walk_streams()
+        system.warmup()
+        system.reset_stats()
+        rng = system.rngs.get("cli-queries")
+        for _ in range(5):
+            donor = system.app(int(rng.integers(args.nodes)))
+            src = next(iter(donor.sources.values()))
+            if src.extractor.ready:
+                system.post_similarity_query(
+                    system.app(int(rng.integers(args.nodes))),
+                    SimilarityQuery(
+                        pattern=src.extractor.window.values(),
+                        radius=0.1,
+                        lifespan_ms=8_000.0,
+                    ),
+                )
+        system.run(args.measure * 1000.0)
+        loads = np.array(
+            sorted(system.network.stats.load_by_node().values())
+        ) / args.measure
+        rows.append([label, float(loads.mean()), float(loads.max())])
+    print(
+        format_table(
+            f"Sec. IV-A baselines (N={args.nodes}): per-node load (msgs/s)",
+            ["architecture", "mean", "max (hottest node)"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_ring_stats(args, out) -> int:
+    from .chord import ChordRing, RingAnalyzer
+
+    ring = ChordRing(m=args.m)
+    for i in range(args.nodes):
+        ring.create_node(f"dc-{i}")
+    ring.build()
+    analyzer = RingAnalyzer(ring)
+    arcs = analyzer.arc_stats()
+    fingers = analyzer.finger_health()
+    paths = analyzer.path_profile(samples=args.samples)
+    rows = [
+        ["nodes", arcs.n_nodes],
+        ["arc mean", arcs.mean],
+        ["arc max/mean", arcs.max_over_mean],
+        ["finger accuracy", fingers.accuracy],
+        ["lookup hops mean", paths.mean],
+        ["lookup hops p95", paths.p95],
+        ["lookup hops max", paths.maximum],
+        ["0.5*log2(N)", 0.5 * float(np.log2(max(2, args.nodes)))],
+    ]
+    print(
+        format_table(f"Chord ring diagnostics (N={args.nodes}, m={args.m})",
+                     ["metric", "value"], rows),
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "demo": cmd_demo,
+    "load": cmd_load,
+    "overhead": cmd_overhead,
+    "hops": cmd_hops,
+    "distribution": cmd_distribution,
+    "baselines": cmd_baselines,
+    "ring-stats": cmd_ring_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `head`) closed the pipe: not an error.
+        try:
+            sys.stderr.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

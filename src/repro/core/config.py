@@ -1,0 +1,156 @@
+"""Configuration: the paper's Table I workload plus middleware knobs.
+
+Table I of the paper fixes the workload and runtime parameters used in
+every experiment:
+
+====== ======= =====================================================
+name   value   meaning
+====== ======= =====================================================
+PMIN   150 ms  minimum stream period (per-stream, uniform)
+PMAX   250 ms  maximum stream period
+BSPAN  5000 ms lifespan of a stored MBR
+QRATE  2 q/s   Poisson arrival rate of queries (system-wide)
+QMIN   20 s    minimum query lifespan (uniform)
+QMAX   100 s   maximum query lifespan
+NPER   2 s     period of notification / response exchanges
+====== ======= =====================================================
+
+plus a constant 50 ms per-hop routing delay in the Chord simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["WorkloadConfig", "MiddlewareConfig", "TABLE_I"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The paper's Table I parameters (all times in ms unless noted)."""
+
+    pmin_ms: float = 150.0
+    pmax_ms: float = 250.0
+    bspan_ms: float = 5000.0
+    qrate_per_s: float = 2.0
+    qmin_ms: float = 20_000.0
+    qmax_ms: float = 100_000.0
+    nper_ms: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.pmin_ms <= 0 or self.pmax_ms < self.pmin_ms:
+            raise ValueError("need 0 < PMIN <= PMAX")
+        if self.qmin_ms <= 0 or self.qmax_ms < self.qmin_ms:
+            raise ValueError("need 0 < QMIN <= QMAX")
+        if self.bspan_ms <= 0 or self.nper_ms <= 0 or self.qrate_per_s < 0:
+            raise ValueError("BSPAN, NPER must be positive; QRATE non-negative")
+
+    def as_table(self) -> Tuple[Tuple[str, str], ...]:
+        """The (name, value) rows of Table I, formatted as in the paper."""
+        return (
+            ("PMIN", f"{self.pmin_ms:.0f}ms"),
+            ("PMAX", f"{self.pmax_ms:.0f}ms"),
+            ("BSPAN", f"{self.bspan_ms:.0f}ms"),
+            ("QRATE", f"{self.qrate_per_s:.0f}q/sec"),
+            ("QMIN", f"{self.qmin_ms / 1000:.0f}sec"),
+            ("QMAX", f"{self.qmax_ms / 1000:.0f}sec"),
+            ("NPER", f"{self.nper_ms / 1000:.0f}sec"),
+        )
+
+
+TABLE_I = WorkloadConfig()
+"""The exact parameter set of the paper's Table I."""
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """Knobs of the distributed indexing middleware itself.
+
+    Attributes
+    ----------
+    m:
+        Chord identifier bits.
+    window_size:
+        Sliding window length ``n`` per stream.
+    k:
+        Non-DC DFT coefficients kept per summary.
+    normalization:
+        ``"z"`` (correlation semantics), ``"unit"`` (subsequence), or
+        ``"none"``.
+    batch_size:
+        ``w``: feature vectors grouped into one MBR before routing
+        (Sec. IV-G).
+    query_radius:
+        Default similarity-query radius ε (the paper uses 0.1 for most
+        experiments, 0.2 in Fig. 7(b)).
+    multicast:
+        ``"sequential"`` — send to the low key and forward via
+        successors (the basic scheme every DHT supports); or
+        ``"bidirectional"`` — send to the middle key and spread both
+        ways (the Sec. IV-C/VI extension that halves propagation delay).
+    hop_delay_ms:
+        Constant per-hop routing latency.
+    report_empty:
+        Whether range nodes send periodic similarity reports even when
+        they found no candidates (heartbeat semantics).
+    successor_list_len:
+        Chord successor-list length (fault tolerance).
+    adaptive_mbr:
+        Use the Sec. VI-A adaptive precision batcher instead of plain
+        count batching.
+    adaptive_target_span / adaptive_initial_width:
+        Target node span and initial routing-coordinate width cap for
+        the adaptive batcher.
+    hierarchy:
+        Enable the Sec. VI-B cluster hierarchy: queries with radius
+        above ``hierarchy_radius_threshold`` are served as one-shot
+        probes via a leader climb (O(log N) contacts) instead of being
+        replicated across the key range.
+    hierarchy_cluster_size / hierarchy_margin:
+        Bottom-cluster size and level-0 widening margin of the
+        hierarchy's update-suppression scheme.
+    workload:
+        The Table I parameters.
+    """
+
+    m: int = 32
+    window_size: int = 128
+    k: int = 2
+    normalization: str = "z"
+    batch_size: int = 10
+    query_radius: float = 0.1
+    multicast: str = "sequential"
+    hop_delay_ms: float = 50.0
+    report_empty: bool = False
+    successor_list_len: int = 4
+    adaptive_mbr: bool = False
+    adaptive_target_span: float = 2.0
+    adaptive_initial_width: float = 0.05
+    hierarchy: bool = False
+    hierarchy_cluster_size: int = 4
+    hierarchy_radius_threshold: float = 0.25
+    hierarchy_margin: float = 0.02
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    def __post_init__(self) -> None:
+        if self.multicast not in ("sequential", "bidirectional"):
+            raise ValueError(f"unknown multicast strategy {self.multicast!r}")
+        if self.normalization not in ("z", "unit", "none"):
+            raise ValueError(f"unknown normalization {self.normalization!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not (0.0 < self.query_radius <= 2.0):
+            raise ValueError("query_radius must be in (0, 2]")
+        if not (1 <= self.k < self.window_size):
+            raise ValueError("need 1 <= k < window_size")
+        if self.hierarchy_cluster_size < 2:
+            raise ValueError("hierarchy_cluster_size must be >= 2")
+        if not (0.0 < self.hierarchy_radius_threshold <= 2.0):
+            raise ValueError("hierarchy_radius_threshold must be in (0, 2]")
+        if self.hierarchy_margin < 0:
+            raise ValueError("hierarchy_margin must be non-negative")
+
+    def with_(self, **changes) -> "MiddlewareConfig":
+        """A modified copy (convenience over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)

@@ -1,0 +1,418 @@
+"""Hierarchical feature-space partitioning for wide queries (Sec. VI-B).
+
+The flat scheme replicates a similarity query across *every* node whose
+arc intersects ``[h(q1-ε), h(q1+ε)]`` — linear in N for a fixed radius,
+and close to the whole ring for large radii.  Sec. VI-B proposes a
+cluster hierarchy, NICE-style: adjacent data centers (adjacent = ring
+order = feature order under the Eq. 6 mapping) form constant-size
+bottom clusters; each elects a leader; leaders cluster recursively up
+to a single root.  A leader at level ℓ covers the feature interval of
+its whole subtree (~``c^ℓ`` arcs), so a query whose interest volume
+exceeds one node's arc climbs the leader chain — O(log_c N) contacts —
+instead of being replicated across the range.
+
+Updates flow the other way: each summary is forwarded up the chain, and
+— per the section's final refinement — every level widens its stored
+MBR by a growing margin, so upward updates are *suppressed* whenever
+the new summary still fits the widened box ("nodes at the upper levels
+of the hierarchy need to be updated less frequently at the expense of
+having less precise information").
+
+This module is self-contained (it does not interact with the flat
+middleware's message flow) so the hierarchy bench can compare the two
+schemes on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.network import Message, Network
+from .mbr import MBR
+
+__all__ = ["Cluster", "ClusterHierarchy", "HierarchicalIndex"]
+
+#: message kinds of the hierarchy traffic (kept distinct from the flat
+#: middleware's so combined experiments remain separable)
+H_UPDATE = "hier_update"
+H_QUERY = "hier_query"
+H_RESPONSE = "hier_response"
+
+
+@dataclass
+class Cluster:
+    """One cluster at some level: member ids and the elected leader.
+
+    ``lo_idx`` / ``hi_idx`` delimit (half-open) the *positions* — in the
+    ring/feature order the hierarchy was built over — of the bottom
+    nodes this cluster's subtree covers.  Under the Eq. 6 mapping,
+    positions are monotone in feature value, so a cluster covers a
+    contiguous feature interval.
+    """
+
+    level: int
+    members: List[int]
+    leader: int
+    lo_idx: int = 0
+    hi_idx: int = 0
+
+
+class ClusterHierarchy:
+    """The NICE-style leader hierarchy over a list of node identifiers.
+
+    Nodes must be supplied in ring (= feature) order; consecutive runs
+    of ``cluster_size`` nodes form the bottom clusters, and the first
+    member of each cluster serves as its leader (any deterministic
+    choice works; real deployments would elect by capacity).
+    """
+
+    def __init__(self, node_ids: List[int], cluster_size: int = 4) -> None:
+        if cluster_size < 2:
+            raise ValueError("cluster_size must be >= 2")
+        if not node_ids:
+            raise ValueError("need at least one node")
+        self.cluster_size = cluster_size
+        self.node_ids = list(node_ids)
+        self.position = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.levels: List[List[Cluster]] = []
+        current = list(node_ids)
+        # positional coverage of each entry in `current` (half-open)
+        spans = [(i, i + 1) for i in range(len(current))]
+        level = 0
+        while len(current) > 1:
+            clusters = []
+            for i in range(0, len(current), cluster_size):
+                members = current[i : i + cluster_size]
+                member_spans = spans[i : i + cluster_size]
+                clusters.append(
+                    Cluster(
+                        level=level,
+                        members=members,
+                        leader=members[0],
+                        lo_idx=member_spans[0][0],
+                        hi_idx=member_spans[-1][1],
+                    )
+                )
+            self.levels.append(clusters)
+            current = [c.leader for c in clusters]
+            spans = [(c.lo_idx, c.hi_idx) for c in clusters]
+            level += 1
+        self.root = current[0]
+        # node -> its cluster per level (leaders appear at several levels)
+        self._cluster_of: List[Dict[int, Cluster]] = []
+        for clusters in self.levels:
+            m: Dict[int, Cluster] = {}
+            for c in clusters:
+                for member in c.members:
+                    m[member] = c
+            self._cluster_of.append(m)
+
+    @property
+    def depth(self) -> int:
+        """Number of cluster levels (0 for a single-node system)."""
+        return len(self.levels)
+
+    def cluster_of(self, node_id: int, level: int) -> Optional[Cluster]:
+        """The cluster containing ``node_id`` at ``level`` (None if absent)."""
+        if level >= len(self._cluster_of):
+            return None
+        return self._cluster_of[level].get(node_id)
+
+    def leader_chain(self, node_id: int) -> List[int]:
+        """Leaders from the node's bottom cluster up to the root (deduped)."""
+        chain: List[int] = []
+        current = node_id
+        for level in range(self.depth):
+            cluster = self.cluster_of(current, level)
+            if cluster is None:
+                break
+            if cluster.leader != current or not chain:
+                if not chain or chain[-1] != cluster.leader:
+                    chain.append(cluster.leader)
+            current = cluster.leader
+        if not chain:
+            chain = [node_id]
+        return chain
+
+    def subtree_size(self, level: int) -> int:
+        """Approximate number of bottom nodes a level-``level`` leader covers."""
+        return self.cluster_size ** (level + 1)
+
+    def level_for_coverage(self, fraction: float) -> int:
+        """The smallest level whose subtree covers ``fraction`` of all nodes.
+
+        A query whose key range would span ``fraction * N`` nodes in the
+        flat scheme is served by this level's leader instead.
+        """
+        fraction = min(max(fraction, 0.0), 1.0)
+        needed = fraction * len(self.node_ids)
+        for level in range(self.depth):
+            if self.subtree_size(level) >= needed:
+                return level
+        return max(0, self.depth - 1)
+
+    def covering_chain(self, start_node: int, lo_idx: int, hi_idx: int) -> List[int]:
+        """Leaders to visit, in order, until one covers positions
+        ``[lo_idx, hi_idx)``.
+
+        Empty when ``start_node`` itself covers the range.  The climb is
+        correct from *any* start node (worst case it reaches the root,
+        which covers everything); it is cheapest when the start node is
+        the owner of the query's center key, which is where the flat
+        layer content-routes the query.
+        """
+        pos = self.position[start_node]
+        if lo_idx >= pos and hi_idx <= pos + 1:
+            return []
+        chain: List[int] = []
+        current = start_node
+        for level in range(self.depth):
+            cluster = self.cluster_of(current, level)
+            if cluster is None:
+                break
+            if cluster.leader != current:
+                chain.append(cluster.leader)
+            current = cluster.leader
+            if cluster.lo_idx <= lo_idx and cluster.hi_idx >= hi_idx:
+                break
+        return chain
+
+
+@dataclass
+class _LevelEntry:
+    """A stream's widened MBR stored at one hierarchy node."""
+
+    box: MBR
+    margin: float
+    updates_received: int = 0
+    updates_forwarded: int = 0
+    expires: float = float("inf")
+
+
+@dataclass
+class HierarchyStats:
+    """Counters of the hierarchy's own traffic."""
+
+    updates_sent: int = 0
+    updates_suppressed: int = 0
+    queries_sent: int = 0
+    responses_sent: int = 0
+
+
+class HierarchicalIndex:
+    """The Sec. VI-B scheme: update suppression up the chain, query climb.
+
+    Parameters
+    ----------
+    network:
+        The simulated network (for hop latency and message accounting).
+    hierarchy:
+        The cluster structure.
+    base_margin:
+        Widening margin per dimension at level 0; level ℓ uses
+        ``base_margin * growth**ℓ``.
+    growth:
+        Per-level margin growth factor (> 1 to realise "less frequent
+        updates at upper levels").
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        hierarchy: ClusterHierarchy,
+        *,
+        base_margin: float = 0.01,
+        growth: float = 2.0,
+        value_bounds: Tuple[float, float] = (-1.0, 1.0),
+    ) -> None:
+        if base_margin < 0 or growth < 1.0:
+            raise ValueError("need base_margin >= 0 and growth >= 1")
+        if value_bounds[1] <= value_bounds[0]:
+            raise ValueError("need value_bounds[1] > value_bounds[0]")
+        self.value_bounds = (float(value_bounds[0]), float(value_bounds[1]))
+        self.network = network
+        self.hierarchy = hierarchy
+        self.base_margin = base_margin
+        self.growth = growth
+        #: per node: (stream_id, level) -> stored widened entry.  A
+        #: leader keeps one entry per level it serves, so suppression
+        #: decisions at different levels are independent.
+        self.store: Dict[int, Dict[Tuple[str, int], _LevelEntry]] = {
+            n: {} for n in hierarchy.node_ids
+        }
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def publish(self, node_id: int, mbr: MBR, *, expires: float = float("inf")) -> None:
+        """A summary arrives at its content-placed node; push up the chain.
+
+        At each level the update is forwarded only if the summary no
+        longer fits the widened box previously advertised there — the
+        suppression that makes upper levels cheap.  ``expires`` bounds
+        the entry's lifetime (the flat layer's BSPAN); a fitting update
+        still *extends* the expiry, so live streams never fade out.
+        """
+        self._store_and_maybe_forward(node_id, mbr, level=0, expires=expires)
+
+    def _store_and_maybe_forward(
+        self, node_id: int, mbr: MBR, level: int, expires: float
+    ) -> None:
+        key = (mbr.stream_id, level)
+        entry = self.store[node_id].get(key)
+        fits = (
+            entry is not None
+            and bool((mbr.low >= entry.box.low - 1e-12).all())
+            and bool((mbr.high <= entry.box.high + 1e-12).all())
+        )
+        if fits:
+            entry.updates_received += 1
+            entry.expires = max(entry.expires, expires)
+            self.stats.updates_suppressed += 1
+            return
+        margin = self.base_margin * (self.growth ** level)
+        widened = MBR(
+            low=mbr.low - margin,
+            high=mbr.high + margin,
+            stream_id=mbr.stream_id,
+            count=mbr.count,
+            created=mbr.created,
+        )
+        new_entry = _LevelEntry(box=widened, margin=margin, expires=expires)
+        if entry is not None:
+            new_entry.updates_received = entry.updates_received
+            new_entry.updates_forwarded = entry.updates_forwarded
+        new_entry.updates_received += 1
+        new_entry.updates_forwarded += 1
+        self.store[node_id][key] = new_entry
+        self._forward_up(node_id, mbr, level, expires)
+
+    def _forward_up(self, node_id: int, mbr: MBR, level: int, expires: float) -> None:
+        cluster = self.hierarchy.cluster_of(node_id, level)
+        if cluster is None:
+            return
+        if cluster.leader == node_id:
+            if level + 1 >= self.hierarchy.depth:
+                return  # at the root: nowhere further up
+            # already the leader at this level; continue at the next one
+            self._store_and_maybe_forward(node_id, mbr, level + 1, expires)
+            return
+        self.stats.updates_sent += 1
+        msg = Message(
+            kind=H_UPDATE, payload=(mbr, level), origin=node_id, dest_key=cluster.leader
+        )
+        self.network.hop(
+            node_id,
+            cluster.leader,
+            msg,
+            lambda m, leader=cluster.leader, lv=level: self._store_and_maybe_forward(
+                leader, m.payload[0], lv + 1, expires
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def positions_of_interval(self, lo_val: float, hi_val: float) -> Tuple[int, int]:
+        """Half-open position range of a routing-value interval.
+
+        Assumes node positions are monotone in feature value over
+        ``value_bounds`` — which the Eq. 6 mapping guarantees when the
+        hierarchy is built in ring order.
+        """
+        vmin, vmax = self.value_bounds
+        n = len(self.hierarchy.node_ids)
+        span = vmax - vmin
+
+        def pos(v: float) -> int:
+            frac = (min(max(v, vmin), vmax) - vmin) / span
+            return min(n - 1, int(frac * n))
+
+        return pos(lo_val), pos(hi_val) + 1
+
+    def query(
+        self,
+        node_id: int,
+        feature: np.ndarray,
+        radius: float,
+        on_answer,
+        *,
+        position_range: Optional[Tuple[int, int]] = None,
+    ) -> int:
+        """Resolve a similarity probe through the hierarchy.
+
+        The query climbs the leader chain from ``node_id`` until it
+        reaches a leader whose subtree's feature interval covers
+        ``[q1 - ε, q1 + ε]``, is answered from the widened index there,
+        and the candidate list flows back to the caller via
+        ``on_answer(matches)``.  Returns the number of *contacts*
+        (distinct nodes the query visits) — the quantity the hierarchy
+        bench compares against the flat scheme's range size.
+
+        For the logarithmic cost to pay off, ``node_id`` should be the
+        owner of the query's center key (where the flat layer routes
+        queries anyway); starting elsewhere stays correct but climbs to
+        the root.
+        """
+        feature = np.asarray(feature, dtype=np.float64)
+        if position_range is not None:
+            # exact positions supplied by the caller (e.g. computed from
+            # the ring's actual key ownership)
+            lo_idx, hi_idx = position_range
+        else:
+            lo_idx, hi_idx = self.positions_of_interval(
+                float(feature[0]) - radius, float(feature[0]) + radius
+            )
+        path = self.hierarchy.covering_chain(node_id, lo_idx, hi_idx)
+
+        def respond(at_node: int, hops_taken: List[int]) -> None:
+            matches = self._scan(at_node, feature, radius)
+            if at_node == node_id:
+                on_answer(matches)
+                return
+            self.stats.responses_sent += 1
+            rmsg = Message(
+                kind=H_RESPONSE, payload=matches, origin=at_node, dest_key=node_id
+            )
+            self.network.hop(at_node, node_id, rmsg, lambda m: on_answer(m.payload))
+
+        def climb(idx: int, at_node: int) -> None:
+            if idx >= len(path):
+                respond(at_node, [])
+                return
+            nxt = path[idx]
+            self.stats.queries_sent += 1
+            qmsg = Message(kind=H_QUERY, payload=None, origin=at_node, dest_key=nxt)
+            self.network.hop(at_node, nxt, qmsg, lambda m: climb(idx + 1, nxt))
+
+        climb(0, node_id)
+        return len(path) + 1  # contacts: the client itself plus each leader hop
+
+    def _scan(self, node_id: int, feature: np.ndarray, radius: float) -> List[Tuple[str, float]]:
+        now = self.network.sim.now
+        best: Dict[str, float] = {}
+        for (stream_id, _level), entry in self.store[node_id].items():
+            if entry.expires <= now:
+                continue
+            d = entry.box.mindist(feature)
+            if d <= radius and (stream_id not in best or d < best[stream_id]):
+                best[stream_id] = float(d)
+        return sorted(best.items())
+
+    def purge(self, node_id: int, now: Optional[float] = None) -> int:
+        """Drop expired entries at one node; returns how many went."""
+        if now is None:
+            now = self.network.sim.now
+        store = self.store[node_id]
+        dead = [k for k, e in store.items() if e.expires <= now]
+        for k in dead:
+            del store[k]
+        return len(dead)
+
+    def streams_known(self, node_id: int) -> List[str]:
+        """Distinct stream ids this node holds entries for (any level)."""
+        return sorted({sid for (sid, _lv) in self.store[node_id]})

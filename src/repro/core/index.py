@@ -1,0 +1,162 @@
+"""The per-data-center index structure.
+
+Every data center stores (Sec. IV / Fig. 5):
+
+* the **MBR store** — summaries routed to it by content, each with an
+  expiry (BSPAN) after which it is dropped to avoid stale responses;
+* **similarity subscriptions** — patterns whose key range covers this
+  node, with their ε, aggregation point, and expiry;
+* **inner-product subscriptions** — queries this node serves as the
+  *source* of the queried stream;
+* the **location registry** — ``stream_id → source node`` entries this
+  node holds as part of the ``h2`` location service.
+
+All lookups purge expired entries lazily; a periodic sweep bounds
+memory between lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .mbr import MBR
+from .protocol import InnerProductSubscribe, SimilaritySubscribe
+
+__all__ = ["StoredMBR", "StoredSimilaritySub", "StoredInnerProductSub", "LocalIndex"]
+
+
+@dataclass
+class StoredMBR:
+    """An MBR held by a data center until ``expires``."""
+
+    mbr: MBR
+    expires: float
+
+
+@dataclass
+class StoredSimilaritySub:
+    """A similarity subscription installed at a range node."""
+
+    sub: SimilaritySubscribe
+    expires: float
+    #: stream_ids already reported for this query by *this* node, to
+    #: avoid re-reporting the same match every NPER tick
+    reported: set = field(default_factory=set)
+
+
+@dataclass
+class StoredInnerProductSub:
+    """An inner-product subscription installed at the stream's source."""
+
+    sub: InnerProductSubscribe
+    expires: float
+
+
+class LocalIndex:
+    """All query-relevant state of one data center."""
+
+    def __init__(self) -> None:
+        self._mbrs: Dict[str, List[StoredMBR]] = {}
+        self.similarity_subs: Dict[int, StoredSimilaritySub] = {}
+        self.inner_product_subs: Dict[int, StoredInnerProductSub] = {}
+        self.registry: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # MBR store
+    # ------------------------------------------------------------------
+    def add_mbr(self, mbr: MBR, expires: float) -> None:
+        """Store a summary MBR until its lifespan ends."""
+        self._mbrs.setdefault(mbr.stream_id, []).append(StoredMBR(mbr, expires))
+
+    def mbr_count(self, now: Optional[float] = None) -> int:
+        """Number of stored (live, if ``now`` given) MBRs."""
+        if now is None:
+            return sum(len(v) for v in self._mbrs.values())
+        return sum(1 for _ in self.live_mbrs(now))
+
+    def live_mbrs(self, now: float) -> Iterator[StoredMBR]:
+        """Iterate non-expired MBRs (does not purge)."""
+        for entries in self._mbrs.values():
+            for e in entries:
+                if e.expires > now:
+                    yield e
+
+    def purge(self, now: float) -> int:
+        """Drop expired MBRs and subscriptions; return how many went."""
+        dropped = 0
+        for sid in list(self._mbrs):
+            kept = [e for e in self._mbrs[sid] if e.expires > now]
+            dropped += len(self._mbrs[sid]) - len(kept)
+            if kept:
+                self._mbrs[sid] = kept
+            else:
+                del self._mbrs[sid]
+        for qid in list(self.similarity_subs):
+            if self.similarity_subs[qid].expires <= now:
+                del self.similarity_subs[qid]
+                dropped += 1
+        for qid in list(self.inner_product_subs):
+            if self.inner_product_subs[qid].expires <= now:
+                del self.inner_product_subs[qid]
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def add_similarity_sub(self, sub: SimilaritySubscribe, expires: float) -> None:
+        """Install (or refresh) a similarity subscription."""
+        self.similarity_subs[sub.query_id] = StoredSimilaritySub(sub, expires)
+
+    def add_inner_product_sub(self, sub: InnerProductSubscribe, expires: float) -> None:
+        """Install an inner-product subscription at the source node."""
+        self.inner_product_subs[sub.query.query_id] = StoredInnerProductSub(sub, expires)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def new_candidates(
+        self, stored: StoredSimilaritySub, now: float
+    ) -> List[Tuple[str, float]]:
+        """Streams whose stored MBRs intersect the query ball, not yet reported.
+
+        Returns ``(stream_id, mindist)`` pairs and marks them reported
+        so each (node, query, stream) match is forwarded at most once —
+        matching the paper's "detected similarities" semantics where the
+        middle node aggregates distinct candidates.
+        """
+        q = stored.sub.feature
+        eps = stored.sub.radius
+        out: List[Tuple[str, float]] = []
+        for stream_id, entries in self._mbrs.items():
+            if stream_id in stored.reported:
+                continue
+            best = None
+            for e in entries:
+                if e.expires <= now:
+                    continue
+                d = e.mbr.mindist(q)
+                if d <= eps and (best is None or d < best):
+                    best = d
+            if best is not None:
+                stored.reported.add(stream_id)
+                out.append((stream_id, float(best)))
+        return out
+
+    def probe(self, feature: np.ndarray, radius: float, now: float) -> List[Tuple[str, float]]:
+        """One-shot candidate scan (no reported-set bookkeeping)."""
+        out: List[Tuple[str, float]] = []
+        for stream_id, entries in self._mbrs.items():
+            best = None
+            for e in entries:
+                if e.expires <= now:
+                    continue
+                d = e.mbr.mindist(feature)
+                if d <= radius and (best is None or d < best):
+                    best = d
+            if best is not None:
+                out.append((stream_id, float(best)))
+        return out

@@ -1,0 +1,128 @@
+"""Mapping stream summaries to Chord keys (Sec. IV-B, Eq. 6).
+
+The heart of content-based routing of summaries: the first feature
+component ``v`` (real part of ``X_1`` for z-normalized streams) lies in
+``[-1, 1]``; Eq. 6 scales that interval linearly onto the identifier
+circle::
+
+    key(v) = floor((v + 1) / 2 * 2**m)   (clamped to 2**m - 1)
+
+so that numerically close summaries map to the same node or to ring
+neighbors — "put" and "get" of similar content meet each other.
+
+The paper assumes the feature value is uniformly distributed and leaves
+"adaptively changing the mapping function for various distributions" as
+future work; :class:`QuantileKeyMapper` implements that extension — an
+equi-depth mapping built from a sample of observed feature values, which
+restores uniform load when the value distribution is skewed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..chord.idspace import IdSpace
+
+__all__ = ["LinearKeyMapper", "QuantileKeyMapper", "paper_example_key"]
+
+
+class LinearKeyMapper:
+    """The paper's Eq. 6: linear map from ``[vmin, vmax]`` to the key circle.
+
+    Parameters
+    ----------
+    space:
+        The Chord identifier space.
+    vmin, vmax:
+        The feature-value range; the paper uses ``[-1, 1]`` (all
+        normalized summaries satisfy it).  Values outside are clamped —
+        they can arise only from numerical noise.
+    """
+
+    def __init__(self, space: IdSpace, vmin: float = -1.0, vmax: float = 1.0) -> None:
+        if vmax <= vmin:
+            raise ValueError(f"need vmax > vmin, got [{vmin}, {vmax}]")
+        self.space = space
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+
+    def key_of(self, value: float) -> int:
+        """The Chord key of one feature value."""
+        v = min(max(float(value), self.vmin), self.vmax)
+        frac = (v - self.vmin) / (self.vmax - self.vmin)
+        key = int(np.floor(frac * self.space.size))
+        return min(key, self.space.size - 1)
+
+    def key_range(self, low_value: float, high_value: float) -> Tuple[int, int]:
+        """Keys of a value interval ``[low, high]`` (for queries and MBRs).
+
+        Raises
+        ------
+        ValueError
+            If ``low_value > high_value`` — value intervals never wrap.
+        """
+        if low_value > high_value:
+            raise ValueError(f"need low <= high, got [{low_value}, {high_value}]")
+        return self.key_of(low_value), self.key_of(high_value)
+
+    def value_of(self, key: int) -> float:
+        """Approximate inverse: the low edge of the value bucket of ``key``."""
+        key %= self.space.size
+        return self.vmin + (key / self.space.size) * (self.vmax - self.vmin)
+
+
+class QuantileKeyMapper:
+    """Equi-depth (CDF-based) mapping — the Sec. IV-B future-work extension.
+
+    Built from a sample of observed feature values: the empirical CDF is
+    applied before the linear scaling, so *any* value distribution maps
+    to (approximately) uniform keys and storage load balances across
+    nodes even when summaries cluster (as z-normalized features do
+    around 0).
+
+    Monotonicity is preserved, so range queries still translate to
+    contiguous key ranges and the no-false-dismissal guarantee is
+    unaffected.
+    """
+
+    def __init__(self, space: IdSpace, sample: Sequence[float], n_bins: int = 1024) -> None:
+        sample_arr = np.asarray(sample, dtype=np.float64)
+        if sample_arr.size < 2:
+            raise ValueError("need at least 2 sample values to build quantiles")
+        if n_bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.space = space
+        qs = np.linspace(0.0, 1.0, n_bins + 1)
+        self._edges = np.quantile(sample_arr, qs)
+        # Enforce strict monotonicity for searchsorted / interp stability.
+        self._edges = np.maximum.accumulate(self._edges)
+        self._n_bins = n_bins
+
+    def key_of(self, value: float) -> int:
+        """The Chord key of one feature value under the empirical CDF."""
+        v = float(value)
+        edges = self._edges
+        if v <= edges[0]:
+            frac = 0.0
+        elif v >= edges[-1]:
+            frac = 1.0
+        else:
+            frac = float(np.interp(v, edges, np.linspace(0.0, 1.0, len(edges))))
+        key = int(np.floor(frac * self.space.size))
+        return min(key, self.space.size - 1)
+
+    def key_range(self, low_value: float, high_value: float) -> Tuple[int, int]:
+        """Keys of a value interval (monotone, so ranges stay contiguous)."""
+        if low_value > high_value:
+            raise ValueError(f"need low <= high, got [{low_value}, {high_value}]")
+        return self.key_of(low_value), self.key_of(high_value)
+
+
+def paper_example_key(value: float = 0.40, m: int = 5) -> int:
+    """The worked example of Sec. IV-B: ``v = 0.40``, ``m = 5`` → key 22.
+
+    Kept as a executable cross-check against the paper's arithmetic.
+    """
+    return LinearKeyMapper(IdSpace(m)).key_of(value)

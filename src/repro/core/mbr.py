@@ -1,0 +1,157 @@
+"""Minimum bounding rectangles over feature vectors (Sec. IV-G, Eq. 10).
+
+Consecutive feature vectors of one stream are strongly correlated (the
+window slides by one value at a time), so instead of routing every
+vector individually, the stream source groups every ``w`` of them into
+an MBR — the axis-aligned box spanning them — and routes the MBR once.
+This cuts update bandwidth by ~``w`` at the cost of coarser (but still
+no-false-dismissal) similarity candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["MBR", "MBRBatcher"]
+
+
+@dataclass
+class MBR:
+    """An axis-aligned bounding box in feature space.
+
+    Attributes
+    ----------
+    low, high:
+        Per-dimension bounds; ``low[i] <= high[i]`` for every ``i``
+        (Eq. 10).
+    stream_id:
+        The stream whose summaries this box covers.
+    count:
+        Number of feature vectors absorbed.
+    created:
+        Simulated time of the first vector (for lifespan bookkeeping).
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+    stream_id: str = ""
+    count: int = 0
+    created: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.low = np.asarray(self.low, dtype=np.float64)
+        self.high = np.asarray(self.high, dtype=np.float64)
+        if self.low.shape != self.high.shape:
+            raise ValueError("low/high shape mismatch")
+        if (self.low > self.high + 1e-12).any():
+            raise ValueError("MBR requires low <= high in every dimension")
+
+    @classmethod
+    def of_point(cls, point: np.ndarray, stream_id: str = "", created: float = 0.0) -> "MBR":
+        """A degenerate MBR covering a single feature vector."""
+        p = np.asarray(point, dtype=np.float64)
+        return cls(low=p.copy(), high=p.copy(), stream_id=stream_id, count=1, created=created)
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the feature space."""
+        return len(self.low)
+
+    @property
+    def first_coordinate_interval(self) -> tuple:
+        """``(low[0], high[0])`` — the interval hashed onto the ring."""
+        return float(self.low[0]), float(self.high[0])
+
+    def extend(self, point: np.ndarray) -> None:
+        """Grow the box to cover ``point``."""
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != self.low.shape:
+            raise ValueError("point dimensionality mismatch")
+        np.minimum(self.low, p, out=self.low)
+        np.maximum(self.high, p, out=self.high)
+        self.count += 1
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies inside the box (inclusive)."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool((p >= self.low - 1e-12).all() and (p <= self.high + 1e-12).all())
+
+    def mindist(self, point: np.ndarray) -> float:
+        """Minimum Euclidean distance from ``point`` to the box.
+
+        Zero when the point is inside.  Because MINDIST lower-bounds the
+        distance to every feature vector the box covers — which in turn
+        lower-bounds the distance between the underlying normalized
+        windows — pruning with ``mindist > ε`` never causes false
+        dismissals.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        d = np.maximum(self.low - p, 0.0) + np.maximum(p - self.high, 0.0)
+        return float(np.linalg.norm(d))
+
+    def intersects_ball(self, center: np.ndarray, radius: float) -> bool:
+        """Whether the ε-ball around ``center`` touches the box."""
+        return self.mindist(center) <= radius + 1e-12
+
+    def volume(self) -> float:
+        """Box volume (0 for degenerate boxes); used by adaptive precision."""
+        return float(np.prod(self.high - self.low))
+
+    def margin(self) -> float:
+        """Sum of side lengths — a robust size measure for flat boxes."""
+        return float(np.sum(self.high - self.low))
+
+    def copy(self) -> "MBR":
+        """An independent deep copy."""
+        return MBR(
+            low=self.low.copy(),
+            high=self.high.copy(),
+            stream_id=self.stream_id,
+            count=self.count,
+            created=self.created,
+        )
+
+
+class MBRBatcher:
+    """Groups every ``w`` consecutive feature vectors into one MBR.
+
+    One batcher per stream at its source data center.  ``add`` returns
+    the completed MBR every ``w``-th call and ``None`` otherwise.
+    """
+
+    def __init__(self, stream_id: str, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.stream_id = stream_id
+        self.batch_size = batch_size
+        self._current: Optional[MBR] = None
+        self.emitted = 0
+
+    def add(self, feature: np.ndarray, now: float = 0.0) -> Optional[MBR]:
+        """Absorb one feature vector; return a finished MBR when full."""
+        if self._current is None:
+            self._current = MBR.of_point(feature, stream_id=self.stream_id, created=now)
+        else:
+            self._current.extend(feature)
+        if self._current.count >= self.batch_size:
+            done = self._current
+            self._current = None
+            self.emitted += 1
+            return done
+        return None
+
+    def flush(self) -> Optional[MBR]:
+        """Emit the partially filled MBR, if any (e.g. at shutdown)."""
+        done = self._current
+        self._current = None
+        if done is not None:
+            self.emitted += 1
+        return done
+
+    @property
+    def pending(self) -> int:
+        """Feature vectors absorbed into the not-yet-emitted box."""
+        return self._current.count if self._current is not None else 0

@@ -1,0 +1,226 @@
+"""Wire-format payloads exchanged between data centers.
+
+Each payload type corresponds to one arrow in the paper's Fig. 5
+implementation overview: MBR publications, similarity subscriptions,
+the location-service handshake for inner-product queries, periodic
+similarity reports converging on the aggregator, and periodic response
+pushes back to clients.  Message *kinds* (the accounting categories)
+are defined alongside in :data:`KIND` so middleware and metrics agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .mbr import MBR
+from .queries import InnerProductQuery
+
+__all__ = [
+    "KIND",
+    "MbrPublish",
+    "SimilaritySubscribe",
+    "RegisterStream",
+    "LocateRequest",
+    "LocateReply",
+    "InnerProductSubscribe",
+    "WindowRequest",
+    "WindowReply",
+    "HierarchyQuery",
+    "SimilarityReport",
+    "ResponsePush",
+]
+
+
+class KIND:
+    """Message-kind constants (see Fig. 6(a)'s seven components).
+
+    ============== =====================================================
+    constant       meaning
+    ============== =====================================================
+    MBR            an MBR publication sent by its stream source
+    MBR_SPAN       extra copies when the MBR's key range spans nodes
+    MBR_TRANSIT    overlay-routing forwards of an MBR by inner nodes
+    QUERY          a query message sent by the posing client
+    QUERY_SPAN     extra copies when the query radius spans nodes
+    QUERY_TRANSIT  overlay-routing forwards of a query
+    RESPONSE       a response from the notifying (middle) node to client
+    RESPONSE_TRANSIT overlay forwards of a response
+    NEIGHBOR_INFO  periodic similarity-info exchange toward the middle
+    NEIGHBOR_TRANSIT overlay forwards of neighbor info
+    REGISTER       one-time stream registration at the location service
+    REGISTER_TRANSIT overlay forwards of registrations
+    ============== =====================================================
+
+    The Sec. VI-B hierarchy uses its own kinds (``hier_update``,
+    ``hier_query``, ``hier_response``; see
+    :mod:`repro.core.hierarchy`) so its traffic stays separable from
+    the flat middleware's figure components.
+    """
+
+    MBR = "mbr"
+    MBR_SPAN = "mbr_span"
+    MBR_TRANSIT = "mbr_transit"
+    QUERY = "query"
+    QUERY_SPAN = "query_span"
+    QUERY_TRANSIT = "query_transit"
+    RESPONSE = "response"
+    RESPONSE_TRANSIT = "response_transit"
+    NEIGHBOR_INFO = "neighbor_info"
+    NEIGHBOR_TRANSIT = "neighbor_transit"
+    REGISTER = "register"
+    REGISTER_TRANSIT = "register_transit"
+
+
+@dataclass
+class MbrPublish:
+    """A stream source publishing one MBR of summaries.
+
+    ``low_key``/``high_key`` delimit the replication range on the ring
+    (keys of the MBR's first-coordinate interval).
+    """
+
+    mbr: MBR
+    source_id: int
+    low_key: int
+    high_key: int
+    lifespan_ms: float
+
+
+@dataclass
+class SimilaritySubscribe:
+    """A similarity query being installed across its key range.
+
+    Attributes
+    ----------
+    query_id / client_id:
+        Identity and where to send responses.
+    feature:
+        The query's feature vector.
+    radius:
+        ε threshold on feature-space distance.
+    low_key / high_key / middle_key:
+        The replication range and the aggregation point (the node
+        covering ``middle_key`` collects reports and answers the
+        client).
+    lifespan_ms:
+        Subscription lifetime.
+    """
+
+    query_id: int
+    client_id: int
+    feature: np.ndarray
+    radius: float
+    low_key: int
+    high_key: int
+    middle_key: int
+    lifespan_ms: float
+
+
+@dataclass
+class RegisterStream:
+    """One-time location-service registration: ``h2(sid) -> source``."""
+
+    stream_id: str
+    source_id: int
+
+
+@dataclass
+class LocateRequest:
+    """Client asking the location service which node sources a stream."""
+
+    query: InnerProductQuery
+    client_id: int
+
+
+@dataclass
+class LocateReply:
+    """Location service answering a :class:`LocateRequest` (cacheable)."""
+
+    stream_id: str
+    source_id: int
+    query_id: int
+
+
+@dataclass
+class InnerProductSubscribe:
+    """The inner-product query, forwarded to the stream's source node."""
+
+    query: InnerProductQuery
+    client_id: int
+
+
+@dataclass
+class WindowRequest:
+    """A client asking a stream's source for its current raw window.
+
+    Used by the two-phase (filter-and-refine) similarity pipeline: the
+    index's candidates are a superset; fetching the candidate's window
+    lets the client verify the exact normalized distance.  Routed to
+    ``h2(stream_id)`` first (the location service resolves the source,
+    exactly as for inner-product queries), then forwarded to the source.
+    """
+
+    stream_id: str
+    requester_id: int
+    request_id: int
+
+
+@dataclass
+class WindowReply:
+    """The source's answer to a :class:`WindowRequest`."""
+
+    stream_id: str
+    request_id: int
+    window: np.ndarray
+    source_id: int
+
+
+@dataclass
+class HierarchyQuery:
+    """A wide-selectivity similarity query entering the VI-B hierarchy.
+
+    The client content-routes this to the query's center key; the
+    owning node climbs its leader chain to the level covering the key
+    range and answers the client with the (widened-box) candidates.
+    One-shot snapshot semantics — clients repost for refresh.
+    """
+
+    query_id: int
+    client_id: int
+    feature: np.ndarray
+    radius: float
+    low_key: int
+    high_key: int
+
+
+@dataclass
+class SimilarityReport:
+    """Periodic aggregated similarity info flowing to a middle node.
+
+    ``matches`` maps ``query_id`` to the list of ``(stream_id,
+    feature_distance)`` candidates detected since the last report.
+    """
+
+    reporter_id: int
+    middle_key: int
+    matches: Dict[int, List[Tuple[str, float]]] = field(default_factory=dict)
+
+
+@dataclass
+class ResponsePush:
+    """Periodic response from an aggregator or source back to a client.
+
+    Exactly one of ``similarity`` / ``inner_product`` is non-empty.
+    """
+
+    client_id: int
+    query_id: int
+    similarity: List[Tuple[str, float]] = field(default_factory=list)
+    inner_product: float = float("nan")
+    stream_id: str = ""
+    #: id of the responding source node (inner-product pushes only);
+    #: lets the client cache the stream -> source mapping (Sec. IV-D)
+    source_id: int = -1

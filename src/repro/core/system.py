@@ -1,0 +1,277 @@
+"""System assembly: simulator + Chord ring + middleware on every node.
+
+:class:`StreamIndexSystem` is the entry point users of the library
+interact with: it builds the simulated network, the Chord overlay, and
+one :class:`~repro.core.middleware.StreamIndexNode` per data center,
+wires up the periodic NPER notification processes, and exposes stream
+attachment, query posting and metric extraction.
+
+Typical use::
+
+    system = StreamIndexSystem(n_nodes=50, seed=7)
+    system.attach_random_walk_streams()
+    system.warmup()
+    client = system.app(0)
+    qid = client.post_similarity_query(query)
+    system.run(30_000.0)
+    matches = client.similarity_results[qid]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..chord.dht import DhtOverlay
+from ..chord.ring import ChordRing
+from ..chord.stabilize import Stabilizer
+from ..sim.engine import Simulator
+from ..sim.network import MessageStats, Network
+from ..sim.process import PeriodicProcess
+from ..sim.rng import RngRegistry
+from ..streams.generators import RandomWalkGenerator
+from .config import MiddlewareConfig
+from .mapping import LinearKeyMapper
+from .metrics import FigureMetrics
+from .middleware import StreamIndexNode
+from .multicast import RangeMulticast
+
+__all__ = ["StreamIndexSystem"]
+
+
+class StreamIndexSystem:
+    """A complete simulated deployment of the indexing middleware.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of data centers.
+    config:
+        Middleware + Table I workload configuration.
+    seed:
+        Root seed for all randomness (node placement is deterministic
+        from node names; streams/queries use named substreams).
+    mapper:
+        Feature-to-key mapper; defaults to the paper's Eq. 6 linear map.
+    with_stabilizer:
+        Attach the churn/maintenance protocol (needed only for dynamic
+        membership experiments; static experiments skip its event load).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: Optional[MiddlewareConfig] = None,
+        *,
+        seed: int = 0,
+        mapper=None,
+        with_stabilizer: bool = False,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config if config is not None else MiddlewareConfig()
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(self.sim, hop_delay_ms=self.config.hop_delay_ms)
+        self.ring = ChordRing(m=self.config.m)
+        for i in range(n_nodes):
+            self.ring.create_node(f"dc-{i}")
+        self.ring.build(self.config.successor_list_len)
+        self.overlay = DhtOverlay(self.ring, self.network)
+        self.mapper = mapper if mapper is not None else LinearKeyMapper(self.ring.space)
+        self.multicast = RangeMulticast(self.overlay, self.config.multicast)
+        self.stabilizer: Optional[Stabilizer] = None
+        if with_stabilizer:
+            self.stabilizer = Stabilizer(
+                self.sim, self.ring, successor_list_len=self.config.successor_list_len
+            )
+            self.stabilizer.bootstrap_ring(list(self.ring))
+
+        # Sec. VI-B: optional cluster hierarchy over the ring order for
+        # wide-selectivity queries
+        self.hierarchy_index = None
+        if self.config.hierarchy and n_nodes >= 2:
+            from .hierarchy import ClusterHierarchy, HierarchicalIndex
+
+            cluster = ClusterHierarchy(
+                list(self.ring.node_ids),
+                cluster_size=self.config.hierarchy_cluster_size,
+            )
+            self.hierarchy_index = HierarchicalIndex(
+                self.network, cluster, base_margin=self.config.hierarchy_margin
+            )
+
+        self.apps: Dict[int, StreamIndexNode] = {}
+        self._app_order: List[StreamIndexNode] = []
+        rng = self.rngs.get("nper-phase")
+        nper = self.config.workload.nper_ms
+        self._nper_procs: List[PeriodicProcess] = []
+        self._stream_procs: List[PeriodicProcess] = []
+        for node in self.ring:
+            app = StreamIndexNode(node, self)
+            self.apps[node.node_id] = app
+            self._app_order.append(app)
+            self.overlay.register_app(node, app)
+            proc = PeriodicProcess(
+                self.sim,
+                nper,
+                app.on_notification_tick,
+                phase=float(rng.uniform(0.0, nper)),
+            )
+            proc.start()
+            self._nper_procs.append(proc)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of live data centers."""
+        return len(self.ring)
+
+    def app(self, index: int) -> StreamIndexNode:
+        """The middleware app of the ``index``-th data center (ring order).
+
+        Nodes are indexed by their position on the identifier circle
+        (ascending Chord id), which is how :meth:`all_apps` enumerates
+        them too; nodes added later via :meth:`join_node` append at the
+        end regardless of identifier.
+        """
+        return self._app_order[index]
+
+    def app_by_id(self, node_id: int) -> StreamIndexNode:
+        """The middleware app at a given Chord identifier."""
+        return self.apps[node_id]
+
+    @property
+    def all_apps(self) -> List[StreamIndexNode]:
+        """All middleware apps, in ring (ascending identifier) order."""
+        return list(self._app_order)
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def join_node(self, name: str) -> StreamIndexNode:
+        """Add a new data center at runtime (requires the stabilizer).
+
+        The node joins through an arbitrary live bootstrap node, the
+        stabilization protocol integrates it into the ring, and a fresh
+        middleware app (with its NPER process) is attached.  Returns the
+        new app, ready for :meth:`attach_stream`.
+        """
+        if self.stabilizer is None:
+            raise RuntimeError("join_node requires with_stabilizer=True")
+        from ..chord.hashing import node_identifier
+        from ..chord.node import ChordNode
+
+        node_id = node_identifier(name, self.ring.space)
+        salt = 0
+        existing = set(self.ring.node_ids) | set(self.apps)
+        while node_id in existing:
+            salt += 1
+            node_id = node_identifier(f"{name}#{salt}", self.ring.space)
+        node = ChordNode(name, node_id, self.ring.space)
+        bootstrap = next(iter(self.ring))
+        self.stabilizer.join(node, bootstrap=bootstrap)
+        app = StreamIndexNode(node, self)
+        self.apps[node.node_id] = app
+        self._app_order.append(app)
+        self.overlay.register_app(node, app)
+        rng = self.rngs.get("nper-phase")
+        nper = self.config.workload.nper_ms
+        proc = PeriodicProcess(
+            self.sim,
+            nper,
+            app.on_notification_tick,
+            phase=float(rng.uniform(0.0, nper)),
+        )
+        proc.start()
+        self._nper_procs.append(proc)
+        return app
+
+    def fail_node(self, app: StreamIndexNode) -> None:
+        """Crash a data center: it vanishes without notice.
+
+        Its stream processes stop, its app is detached, and the ring
+        routes around it once stabilization notices.
+        """
+        if self.stabilizer is None:
+            raise RuntimeError("fail_node requires with_stabilizer=True")
+        self.stabilizer.fail(app.node)
+        self.overlay.unregister_app(app.node)
+
+    # ------------------------------------------------------------------
+    # stream attachment
+    # ------------------------------------------------------------------
+    def attach_stream(
+        self,
+        app: StreamIndexNode,
+        stream_id: str,
+        generator: Callable[[], float],
+        *,
+        period_ms: Optional[float] = None,
+    ) -> None:
+        """Attach a stream to a data center and start its arrival process.
+
+        The period defaults to a uniform draw from [PMIN, PMAX] as in
+        Table I; it stays fixed for the stream's lifetime.
+        """
+        wl = self.config.workload
+        if period_ms is None:
+            rng = self.rngs.get("stream-period")
+            period_ms = float(rng.uniform(wl.pmin_ms, wl.pmax_ms))
+        app.attach_stream(stream_id, generator)
+        rng_phase = self.rngs.get("stream-phase")
+        proc = PeriodicProcess(
+            self.sim,
+            period_ms,
+            lambda a=app, s=stream_id: a.on_stream_value(s),
+            phase=float(rng_phase.uniform(0.0, period_ms)),
+        )
+        proc.start()
+        self._stream_procs.append(proc)
+
+    def attach_random_walk_streams(self, *, step: float = 1.0) -> None:
+        """The paper's default workload: each node sources one random-walk stream."""
+        for i, app in enumerate(self._app_order):
+            gen = RandomWalkGenerator(self.rngs.fork("stream", i), step=step)
+            self.attach_stream(app, f"stream-{i}", gen.next_value)
+
+    # ------------------------------------------------------------------
+    # execution & measurement
+    # ------------------------------------------------------------------
+    def run(self, duration_ms: float) -> None:
+        """Advance simulated time by ``duration_ms``."""
+        self.sim.run(until=self.sim.now + duration_ms)
+
+    def warmup(self, extra_ms: float = 2_000.0) -> None:
+        """Run long enough for every window to fill and first MBRs to flow.
+
+        Measurement runs should call :meth:`reset_stats` afterwards so
+        the figures exclude the fill-up transient.
+        """
+        wl = self.config.workload
+        fill = (self.config.window_size + self.config.batch_size) * wl.pmax_ms
+        self.run(fill + extra_ms)
+
+    def reset_stats(self) -> None:
+        """Discard all message counters (start of the measured interval)."""
+        self.network.stats = MessageStats()
+
+    def position_range_of_keys(self, low_key: int, high_key: int):
+        """Positions (ring-order indices) of the nodes covering a key range.
+
+        The hierarchy climbs by positional coverage; computing the exact
+        positions from actual key ownership (rather than assuming
+        uniformly spread identifiers) preserves the no-false-dismissal
+        guarantee for hierarchy-served queries.
+        """
+        from bisect import bisect_left
+
+        covering = self.ring.nodes_covering_range(low_key, high_key)
+        ids = self.ring.node_ids
+        positions = sorted(bisect_left(ids, n.node_id) for n in covering)
+        return positions[0], positions[-1] + 1
+
+    def figure_metrics(self, duration_ms: float) -> FigureMetrics:
+        """Figure-ready metrics over the last ``duration_ms`` of activity."""
+        return FigureMetrics(
+            stats=self.network.stats, n_nodes=self.n_nodes, duration_ms=duration_ms
+        )

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the MIT Chord simulator the paper linked against:
+a deterministic event engine (:mod:`repro.sim.engine`), periodic process
+helpers (:mod:`repro.sim.process`), a message network with a constant
+per-hop latency and complete message accounting
+(:mod:`repro.sim.network`), and named deterministic RNG substreams
+(:mod:`repro.sim.rng`).
+"""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .network import DEFAULT_HOP_DELAY_MS, Message, MessageStats, Network
+from .process import PeriodicProcess, Timer
+from .rng import RngRegistry
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Message",
+    "MessageStats",
+    "Network",
+    "DEFAULT_HOP_DELAY_MS",
+    "PeriodicProcess",
+    "Timer",
+    "RngRegistry",
+]
+
+from .tracing import MessageTracer, TraceEvent  # noqa: E402
+
+__all__ += ["MessageTracer", "TraceEvent"]

@@ -1,0 +1,227 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate everything else runs on: the Chord overlay,
+the per-hop message network, the periodic stream sources, and the query
+workload are all expressed as timed callbacks scheduled on a single
+:class:`Simulator`.
+
+Design notes
+------------
+* Time is a ``float`` in **milliseconds** of simulated time.  The paper's
+  runtime constants (50 ms per routing hop, 150-250 ms stream periods,
+  2 s notification period, 5 s MBR lifespan) are all naturally expressed
+  in this unit.
+* The event queue is a binary heap of ``(time, seq, handle)`` entries.
+  ``seq`` is a monotonically increasing tiebreaker so that events
+  scheduled for the same instant fire in FIFO order and the simulation
+  is fully deterministic.
+* Cancellation is *lazy*: :meth:`EventHandle.cancel` marks the handle and
+  the main loop discards cancelled entries when they surface.  This keeps
+  ``schedule``/``cancel`` at O(log n)/O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine.
+
+    Examples include scheduling an event in the past or running a
+    simulator that has already been stopped and drained.
+    """
+
+
+@dataclass
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (ms) at which the callback fires.
+    seq:
+        FIFO tiebreaker assigned by the simulator.
+    fn:
+        The zero-argument callback to invoke (arguments are bound at
+        scheduling time).
+    cancelled:
+        ``True`` once :meth:`cancel` has been called; the engine skips
+        cancelled events when they reach the head of the queue.
+    """
+
+    time: float
+    seq: int
+    fn: Optional[Callable[[], None]]
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self.cancelled = True
+        self.fn = None  # release closure references early
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still scheduled to fire."""
+        return not self.cancelled and self.fn is not None
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the simulated clock and an event queue.  Events
+    are zero-argument callables; use :func:`functools.partial` or bound
+    methods to carry state.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(10.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [10.0]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._running: bool = False
+        self._stopped: bool = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries, including not-yet-discarded cancelled ones."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        Parameters
+        ----------
+        delay:
+            Non-negative offset from the current simulated time.
+        fn:
+            Callback to invoke.
+        *args:
+            Positional arguments bound to the callback now.
+
+        Returns
+        -------
+        EventHandle
+            A handle that can be used to cancel the event.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute simulated time.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is earlier than the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} < now={self._now!r}"
+            )
+        bound = (lambda: fn(*args)) if args else fn
+        handle = EventHandle(time=time, seq=self._seq, fn=bound)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, handle.seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event is strictly later than
+            this time; the clock is advanced to ``until`` on exit so
+            repeated ``run(until=...)`` calls form a seamless timeline.
+        max_events:
+            Safety valve: abort after this many events (useful in tests
+            to detect runaway periodic processes).
+        """
+        self._stopped = False
+        self._running = True
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                time, _seq, handle = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if handle.cancelled or handle.fn is None:
+                    continue
+                self._now = time
+                fn = handle.fn
+                handle.fn = None  # mark as fired
+                fn()
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the queue
+            was empty (cancelled entries are drained silently).
+        """
+        while self._queue:
+            time, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled or handle.fn is None:
+                continue
+            self._now = time
+            fn = handle.fn
+            handle.fn = None
+            fn()
+            self._events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to exit after this event."""
+        self._stopped = True

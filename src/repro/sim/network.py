@@ -1,0 +1,242 @@
+"""Simulated message-passing network with full accounting.
+
+The paper's evaluation is entirely about *messages*: average per-node
+message load (Fig. 6a), the distribution of that load across nodes
+(Fig. 6b), per-event message overhead (Fig. 7), and per-message hop
+counts (Fig. 8).  Rather than instrumenting application code, every
+message in this reproduction passes through :class:`Network.hop`, which
+records, per message *kind*:
+
+* a send at the transmitting node and a receive at the destination node
+  (for load and load-distribution metrics),
+* per-hop counts attributed to the logical message a hop belongs to
+  (for hop-count metrics), and
+* end-to-end latency when a message is finally *delivered*.
+
+The per-hop latency is a constant — 50 ms by default, matching the MIT
+Chord simulator configuration the paper used.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .engine import Simulator
+
+__all__ = ["Message", "MessageStats", "Network", "DEFAULT_HOP_DELAY_MS"]
+
+DEFAULT_HOP_DELAY_MS = 50.0
+"""Per-hop routing delay used by the paper's Chord simulator setup."""
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A logical application message travelling over the overlay.
+
+    A single :class:`Message` may take several physical hops (overlay
+    routing) and spawn *derived* messages (range-replication forwards).
+    ``hops`` accumulates across the whole journey of this logical
+    message, including hops inherited from a parent at spawn time, which
+    is exactly the quantity Fig. 8 reports for "internal" messages.
+
+    Attributes
+    ----------
+    kind:
+        Accounting category, e.g. ``"mbr"``, ``"query_span"``.
+    payload:
+        Opaque application data.
+    origin:
+        Identifier of the node that originated the logical message.
+    dest_key:
+        The overlay key the message is being routed towards.
+    hops:
+        Number of physical hops taken so far.
+    born:
+        Simulated time (ms) the *root* message was created, for latency.
+    msg_id:
+        Unique id; derived messages get fresh ids but keep ``root_id``.
+    root_id:
+        Id of the originating message of this message's event, used to
+        group overhead accounting per input event.
+    tag:
+        Free-form routing annotation; range multicast uses it to mark
+        the spread direction (``"up"`` / ``"down"``).
+    """
+
+    kind: str
+    payload: Any
+    origin: int
+    dest_key: int
+    hops: int = 0
+    born: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    root_id: int = -1
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.root_id < 0:
+            self.root_id = self.msg_id
+
+    def derive(
+        self, kind: str, *, dest_key: Optional[int] = None, tag: Optional[str] = None
+    ) -> "Message":
+        """Create a derived message (e.g. a range-replication forward).
+
+        The derived message keeps the payload, origin, birth time, hop
+        count and root id so that hop and overhead accounting continue
+        to be attributed to the original input event.
+        """
+        return Message(
+            kind=kind,
+            payload=self.payload,
+            origin=self.origin,
+            dest_key=self.dest_key if dest_key is None else dest_key,
+            hops=self.hops,
+            born=self.born,
+            root_id=self.root_id,
+            tag=self.tag if tag is None else tag,
+        )
+
+
+class MessageStats:
+    """Accumulates message counters for one simulation run.
+
+    The raw counters kept here are deliberately low-level; the
+    translation into the paper's figure components lives in
+    :mod:`repro.core.metrics`.
+    """
+
+    def __init__(self) -> None:
+        #: sends per (node, kind)
+        self.sends: Counter[Tuple[int, str]] = Counter()
+        #: receives per (node, kind)
+        self.receives: Counter[Tuple[int, str]] = Counter()
+        #: total sends per kind
+        self.sends_by_kind: Counter[str] = Counter()
+        #: (sum_hops, count) of delivered logical messages per kind
+        self.hops_by_kind: Dict[str, list] = defaultdict(lambda: [0, 0])
+        #: (sum_latency_ms, count) of delivered logical messages per kind
+        self.latency_by_kind: Dict[str, list] = defaultdict(lambda: [0.0, 0])
+        #: number of originated input events per kind
+        self.originations: Counter[str] = Counter()
+
+    # -- recording -----------------------------------------------------
+    def record_send(self, node: int, kind: str) -> None:
+        """Record one physical message transmission by ``node``."""
+        self.sends[(node, kind)] += 1
+        self.sends_by_kind[kind] += 1
+
+    def record_receive(self, node: int, kind: str) -> None:
+        """Record one physical message reception at ``node``."""
+        self.receives[(node, kind)] += 1
+
+    def record_origination(self, kind: str) -> None:
+        """Record the creation of a new input event (MBR/query/response)."""
+        self.originations[kind] += 1
+
+    def record_delivery(self, msg: Message, now: float) -> None:
+        """Record final delivery of a logical message (hops & latency)."""
+        acc = self.hops_by_kind[msg.kind]
+        acc[0] += msg.hops
+        acc[1] += 1
+        lat = self.latency_by_kind[msg.kind]
+        lat[0] += now - msg.born
+        lat[1] += 1
+
+    # -- queries -------------------------------------------------------
+    def mean_hops(self, kind: str) -> float:
+        """Average hop count of delivered messages of ``kind`` (0 if none)."""
+        total, count = self.hops_by_kind.get(kind, (0, 0))
+        return total / count if count else 0.0
+
+    def mean_latency(self, kind: str) -> float:
+        """Average end-to-end latency (ms) of delivered ``kind`` messages."""
+        total, count = self.latency_by_kind.get(kind, (0.0, 0))
+        return total / count if count else 0.0
+
+    def node_load(self, node: int) -> int:
+        """Total messages sent plus received by ``node``."""
+        s = sum(v for (n, _k), v in self.sends.items() if n == node)
+        r = sum(v for (n, _k), v in self.receives.items() if n == node)
+        return s + r
+
+    def load_by_node(self) -> Dict[int, int]:
+        """Sends+receives per node, for the Fig. 6(b) distribution."""
+        load: Dict[int, int] = defaultdict(int)
+        for (n, _k), v in self.sends.items():
+            load[n] += v
+        for (n, _k), v in self.receives.items():
+            load[n] += v
+        return dict(load)
+
+    def sends_per_kind_node_mean(self, n_nodes: int) -> Dict[str, float]:
+        """Average number of sends per node, broken down by kind."""
+        return {k: v / n_nodes for k, v in self.sends_by_kind.items()}
+
+
+class Network:
+    """Point-to-point message fabric with a constant per-hop delay.
+
+    The network knows nothing about Chord: routing decisions are made by
+    the overlay layer, which calls :meth:`hop` once per physical hop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        hop_delay_ms: float = DEFAULT_HOP_DELAY_MS,
+        stats: Optional[MessageStats] = None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.hop_delay_ms = float(hop_delay_ms)
+        self.stats = stats if stats is not None else MessageStats()
+        #: optional :class:`repro.sim.tracing.MessageTracer`; may also be
+        #: attached after construction
+        self.tracer = tracer
+
+    def hop(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        on_arrival: Callable[[Message], None],
+    ) -> None:
+        """Transmit ``msg`` one physical hop from ``src`` to ``dst``.
+
+        Accounting: a send at ``src`` and (on arrival) a receive at
+        ``dst`` are recorded under ``msg.kind``; ``msg.hops`` is
+        incremented.  ``on_arrival(msg)`` runs at the destination after
+        the hop delay.
+        """
+        self.stats.record_send(src, msg.kind)
+        if self.tracer is not None:
+            self.tracer.record_send(self.sim.now, src, dst, msg)
+        msg.hops += 1
+
+        def _arrive() -> None:
+            self.stats.record_receive(dst, msg.kind)
+            on_arrival(msg)
+
+        self.sim.schedule(self.hop_delay_ms, _arrive)
+
+    def record_delivery(self, node: int, msg: Message) -> None:
+        """Record final delivery of a logical message (stats + trace)."""
+        self.stats.record_delivery(msg, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record_deliver(self.sim.now, node, msg)
+
+    def local(self, node: int, msg: Message, on_arrival: Callable[[Message], None]) -> None:
+        """Deliver ``msg`` to ``node`` itself without a network hop.
+
+        Used when the routing source already covers the destination key:
+        no message is sent, nothing is counted, the callback runs
+        immediately (still via the scheduler, for ordering determinism).
+        """
+        self.sim.schedule(0.0, lambda: on_arrival(msg))

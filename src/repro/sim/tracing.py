@@ -1,0 +1,143 @@
+"""Optional message tracing for debugging and analysis.
+
+The counters in :class:`~repro.sim.network.MessageStats` are cheap but
+aggregate; when you need to know *what actually happened* — the exact
+hop sequence of an MBR, every replica of a range multicast, the full
+journey of one query — attach a :class:`MessageTracer` to the network
+and query it afterwards.
+
+Tracing is off by default: the figure sweeps move hundreds of thousands
+of messages and keep only counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Set
+
+__all__ = ["TraceEvent", "MessageTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced network event.
+
+    ``event`` is ``"send"`` (transmission started at ``src``) or
+    ``"deliver"`` (the logical message reached its final destination).
+    """
+
+    time: float
+    event: str
+    src: int
+    dst: int
+    kind: str
+    msg_id: int
+    root_id: int
+    hops: int
+
+
+class MessageTracer:
+    """Records network events into a bounded buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events (oldest evicted first); ``None`` keeps
+        everything — use only for short runs.
+    kinds:
+        If given, only these message kinds are recorded.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 100_000,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._kinds: Optional[Set[str]] = set(kinds) if kinds is not None else None
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    def record_send(self, time: float, src: int, dst: int, msg) -> None:
+        """Record one physical transmission (called by the network)."""
+        self._record(time, "send", src, dst, msg)
+
+    def record_deliver(self, time: float, node: int, msg) -> None:
+        """Record final delivery of a logical message."""
+        self._record(time, "deliver", node, node, msg)
+
+    def _record(self, time: float, event: str, src: int, dst: int, msg) -> None:
+        if self._kinds is not None and msg.kind not in self._kinds:
+            self.dropped += 1
+            return
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped += 1  # the eviction the append below causes
+        self._events.append(
+            TraceEvent(
+                time=time,
+                event=event,
+                src=src,
+                dst=dst,
+                kind=msg.kind,
+                msg_id=msg.msg_id,
+                root_id=msg.root_id,
+                hops=msg.hops,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        *,
+        kind: Optional[str] = None,
+        event: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of recorded events, in time order."""
+        out = []
+        for e in self._events:
+            if kind is not None and e.kind != kind:
+                continue
+            if event is not None and e.event != event:
+                continue
+            if node is not None and e.src != node and e.dst != node:
+                continue
+            out.append(e)
+        return out
+
+    def journey(self, root_id: int) -> List[TraceEvent]:
+        """Every event belonging to one input event's message tree.
+
+        Range multicast derives span copies from the original message;
+        they share the original's ``root_id``, so a journey shows the
+        routing hops *and* the replication fan-out of a single MBR or
+        query.
+        """
+        return [e for e in self._events if e.root_id == root_id]
+
+    def format_journey(self, root_id: int) -> str:
+        """A human-readable rendering of :meth:`journey`."""
+        lines = [f"journey of root message {root_id}"]
+        for e in self.journey(root_id):
+            if e.event == "send":
+                lines.append(
+                    f"  t={e.time:9.1f}ms  {e.kind:<16} N{e.src} -> N{e.dst}"
+                    f"  (hop {e.hops})"
+                )
+            else:
+                lines.append(
+                    f"  t={e.time:9.1f}ms  {e.kind:<16} delivered at N{e.dst}"
+                    f"  after {e.hops} hop(s)"
+                )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+        self.dropped = 0

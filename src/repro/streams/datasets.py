@@ -1,0 +1,142 @@
+"""Synthetic dataset facades standing in for the paper's inputs.
+
+The paper's two named datasets are gone from the web (the S&P 500 dump
+at kumo.swcp.com and the CMU Host Load traces).  These builders generate
+drop-in substitutes with the same *shape*: the stock dataset exposes the
+record fields the paper enumerates (date, ticker, open, high, low,
+close, volume); the host-load dataset is a set of per-host load traces
+from late-August-1997-style workstation behaviour.  DESIGN.md documents
+the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .generators import HostLoadGenerator, StockGenerator
+
+__all__ = ["StockDataset", "synthetic_sp500", "synthetic_host_load"]
+
+#: numpy structured dtype mirroring one record of the paper's S&P file
+STOCK_RECORD_DTYPE = np.dtype(
+    [
+        ("date", "i4"),  # day index
+        ("open", "f8"),
+        ("high", "f8"),
+        ("low", "f8"),
+        ("close", "f8"),
+        ("volume", "i8"),
+    ]
+)
+
+
+@dataclass
+class StockDataset:
+    """A bundle of per-ticker daily records.
+
+    Attributes
+    ----------
+    records:
+        Ticker → structured array with fields
+        ``date, open, high, low, close, volume``.
+    """
+
+    records: Dict[str, np.ndarray]
+
+    @property
+    def tickers(self) -> List[str]:
+        """Sorted list of ticker symbols."""
+        return sorted(self.records)
+
+    def closes(self, ticker: str) -> np.ndarray:
+        """Closing-price series for one ticker."""
+        return self.records[ticker]["close"].copy()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def synthetic_sp500(
+    n_stocks: int = 100,
+    n_days: int = 1000,
+    *,
+    seed: int = 0,
+    n_sectors: int = 8,
+) -> StockDataset:
+    """Generate an S&P-500-like dataset of daily stock records.
+
+    Tickers are grouped into sectors; every ticker loads on a weak
+    global market factor plus a strong *sector* factor, so sector-mates
+    correlate strongly while cross-sector pairs correlate only mildly —
+    exactly the structure the paper's "find all pairs of companies whose
+    closing prices correlate" query targets.
+
+    Parameters
+    ----------
+    n_stocks:
+        Number of tickers (the paper's file had ~500).
+    n_days:
+        Trading days per ticker.
+    seed:
+        Root seed; the dataset is a pure function of the arguments.
+    n_sectors:
+        Number of sector-factor groups (ticker ``i`` is in ``i % n_sectors``).
+    """
+    if n_stocks <= 0 or n_days <= 0:
+        raise ValueError("n_stocks and n_days must be positive")
+    root = np.random.default_rng(seed)
+    market = root.normal(0.0, 0.004, size=n_days)
+    sector_factors = [
+        np.random.default_rng([seed, 104729, s]).normal(0.0, 0.012, size=n_days)
+        for s in range(n_sectors)
+    ]
+    records: Dict[str, np.ndarray] = {}
+    for i in range(n_stocks):
+        rng = np.random.default_rng([seed, i])
+        sector = i % n_sectors
+        beta = float(rng.uniform(0.8, 1.2))
+        gen = StockGenerator(
+            rng,
+            beta=beta,
+            sigma_idio=0.005,
+            start_price=float(rng.uniform(20.0, 200.0)),
+        )
+        closes = gen.series(n_days, market_returns=market + sector_factors[sector])
+        rec = np.zeros(n_days, dtype=STOCK_RECORD_DTYPE)
+        rec["date"] = np.arange(n_days)
+        rec["close"] = closes
+        intraday = np.abs(rng.normal(0.0, 0.005, size=n_days)) * closes
+        rec["open"] = np.concatenate(([closes[0]], closes[:-1]))
+        rec["high"] = np.maximum(rec["open"], closes) + intraday
+        rec["low"] = np.maximum(1e-6, np.minimum(rec["open"], closes) - intraday)
+        rec["volume"] = rng.integers(10_000, 10_000_000, size=n_days)
+        records[f"TCK{i:03d}"] = rec
+    return StockDataset(records)
+
+
+def synthetic_host_load(
+    n_hosts: int = 10,
+    length: int = 5000,
+    *,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Generate CMU-Host-Load-like traces: host name → load series.
+
+    Used by the Fig. 3(b) reproduction, which only needs smooth,
+    strongly autocorrelated traces.
+    """
+    if n_hosts <= 0 or length <= 0:
+        raise ValueError("n_hosts and length must be positive")
+    out: Dict[str, np.ndarray] = {}
+    for i in range(n_hosts):
+        rng = np.random.default_rng([seed, 7919, i])
+        gen = HostLoadGenerator(
+            rng,
+            mean_load=float(rng.uniform(0.3, 2.0)),
+            phi=float(rng.uniform(0.95, 0.995)),
+        )
+        out[f"host{i:02d}.cs.cmu.edu"] = gen.series(length)
+    return out

@@ -1,0 +1,211 @@
+"""Synthetic stream generators.
+
+Sec. V uses two inputs: synthetic streams from a bounded random-walk
+model, and real S&P 500 stock histories; Fig. 3(b) additionally uses CMU
+Host Load traces.  The original datasets are no longer available at the
+URLs the paper cites, so this module provides generators that reproduce
+the *properties the experiments depend on*:
+
+* :class:`RandomWalkGenerator` — the paper's synthetic model verbatim:
+  ``s(t+1) = s(t) + c·u`` with ``u ~ U(-1, 1)``, values reflected back
+  into a bounded range (Sec. III-A requires bounded values).
+* :class:`StockGenerator` — S&P-500-like closing prices: geometric
+  random walk with a shared market factor, so that subsets of tickers
+  are genuinely correlated (what correlation queries look for).
+* :class:`HostLoadGenerator` — CMU-host-load-like CPU load: a positive
+  AR(1) process with a diurnal component and occasional bursts, i.e. a
+  smooth autocorrelated trace exhibiting the "Fourier locality" of
+  Fig. 3(b).
+
+All generators are deterministic functions of their RNG and support both
+bulk generation (``series(n)``) and one-value-at-a-time streaming
+(``next_value()``), the latter matching how the simulator drives stream
+sources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RandomWalkGenerator", "StockGenerator", "HostLoadGenerator"]
+
+
+class RandomWalkGenerator:
+    """The paper's bounded random-walk stream model.
+
+    ``s(t+1) = s(t) + c * u`` where ``u ~ Uniform(-1, 1)``; values are
+    reflected at the range boundaries so the stream stays within
+    ``[low, high]`` forever.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (one independent generator per stream).
+    step:
+        The constant ``c`` scaling each increment.
+    low, high:
+        The bounded value range of Sec. III-A.
+    start:
+        Initial value; defaults to the range midpoint.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        step: float = 1.0,
+        low: float = 0.0,
+        high: float = 100.0,
+        start: Optional[float] = None,
+    ) -> None:
+        if high <= low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        self.rng = rng
+        self.step = float(step)
+        self.low = float(low)
+        self.high = float(high)
+        self.value = float(start) if start is not None else (low + high) / 2.0
+
+    def next_value(self) -> float:
+        """Advance the walk one step and return the new value."""
+        v = self.value + self.step * self.rng.uniform(-1.0, 1.0)
+        self.value = _reflect(v, self.low, self.high)
+        return self.value
+
+    def series(self, n: int) -> np.ndarray:
+        """Generate ``n`` consecutive values (vectorised)."""
+        steps = self.step * self.rng.uniform(-1.0, 1.0, size=n)
+        out = np.empty(n, dtype=np.float64)
+        v = self.value
+        for i in range(n):  # reflection is state-dependent; keep the loop
+            v = _reflect(v + steps[i], self.low, self.high)
+            out[i] = v
+        self.value = v
+        return out
+
+
+def _reflect(v: float, low: float, high: float) -> float:
+    """Reflect ``v`` back into ``[low, high]`` (possibly repeatedly)."""
+    span = high - low
+    while v < low or v > high:
+        if v < low:
+            v = low + (low - v)
+        else:
+            v = high - (v - high)
+        if span <= 0:  # pragma: no cover - guarded in callers
+            return low
+    return v
+
+
+class StockGenerator:
+    """S&P-500-like daily closing prices with controllable correlation.
+
+    Log-returns follow a one-factor model: ``r_i = beta_i * m + eps_i``
+    with a common market return ``m`` and idiosyncratic noise, so
+    tickers with similar betas correlate — giving correlation queries
+    something real to find.  Prices are the cumulative exponential of
+    returns (geometric random walk), floored away from zero.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    beta:
+        The ticker's loading on the market factor.
+    sigma_market, sigma_idio:
+        Volatilities of the market factor and the idiosyncratic noise.
+    start_price:
+        Initial price.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        beta: float = 1.0,
+        sigma_market: float = 0.01,
+        sigma_idio: float = 0.01,
+        start_price: float = 100.0,
+        market_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.rng = rng
+        self.market_rng = market_rng
+        self.beta = float(beta)
+        self.sigma_market = float(sigma_market)
+        self.sigma_idio = float(sigma_idio)
+        self.price = float(start_price)
+
+    def next_value(self, market_return: Optional[float] = None) -> float:
+        """One day's close.  ``market_return`` may be shared across tickers."""
+        if market_return is None:
+            mrng = self.market_rng if self.market_rng is not None else self.rng
+            market_return = mrng.normal(0.0, self.sigma_market)
+        r = self.beta * market_return + self.rng.normal(0.0, self.sigma_idio)
+        self.price = max(1e-6, self.price * float(np.exp(r)))
+        return self.price
+
+    def series(self, n: int, market_returns: Optional[np.ndarray] = None) -> np.ndarray:
+        """``n`` consecutive closes; pass shared ``market_returns`` to correlate tickers."""
+        if market_returns is None:
+            mrng = self.market_rng if self.market_rng is not None else self.rng
+            market_returns = mrng.normal(0.0, self.sigma_market, size=n)
+        elif len(market_returns) != n:
+            raise ValueError("market_returns length must equal n")
+        idio = self.rng.normal(0.0, self.sigma_idio, size=n)
+        log_r = self.beta * np.asarray(market_returns) + idio
+        prices = self.price * np.exp(np.cumsum(log_r))
+        prices = np.maximum(prices, 1e-6)
+        self.price = float(prices[-1])
+        return prices
+
+
+class HostLoadGenerator:
+    """CMU-host-load-like CPU load traces.
+
+    Load is modelled as ``max(0, trend + ar + burst)`` where ``trend``
+    is a slow sinusoid (diurnal pattern), ``ar`` is an AR(1) process
+    with coefficient ``phi`` close to 1 (strong temporal correlation —
+    the property Fig. 3(b) demonstrates), and rare bursts add load
+    spikes.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        mean_load: float = 1.0,
+        phi: float = 0.98,
+        noise: float = 0.05,
+        diurnal_amplitude: float = 0.5,
+        diurnal_period: int = 2000,
+        burst_prob: float = 0.002,
+        burst_size: float = 2.0,
+    ) -> None:
+        if not (0.0 <= phi < 1.0):
+            raise ValueError(f"phi must be in [0, 1), got {phi}")
+        self.rng = rng
+        self.mean_load = float(mean_load)
+        self.phi = float(phi)
+        self.noise = float(noise)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.diurnal_period = int(diurnal_period)
+        self.burst_prob = float(burst_prob)
+        self.burst_size = float(burst_size)
+        self._ar = 0.0
+        self._t = 0
+
+    def next_value(self) -> float:
+        """One load sample."""
+        self._ar = self.phi * self._ar + self.rng.normal(0.0, self.noise)
+        trend = self.diurnal_amplitude * np.sin(
+            2.0 * np.pi * self._t / self.diurnal_period
+        )
+        burst = self.burst_size if self.rng.random() < self.burst_prob else 0.0
+        self._t += 1
+        return float(max(0.0, self.mean_load + trend + self._ar + burst))
+
+    def series(self, n: int) -> np.ndarray:
+        """``n`` consecutive load samples."""
+        return np.array([self.next_value() for _ in range(n)], dtype=np.float64)

@@ -1,0 +1,89 @@
+"""Stream normalization (Sec. III-B) and similarity semantics.
+
+Two normalizations put every window on the unit hypersphere, so that
+Euclidean distance between normalized windows is a meaningful,
+scale-free similarity measure:
+
+* **z-normalization** (Eq. 1), used for *correlation* queries: the
+  Pearson correlation of two windows reduces to the Euclidean distance
+  of their z-normalized versions via ``corr = 1 - d²/2`` (Zhu & Shasha).
+* **unit-norm** (Eq. 2), used for *subsequence/pattern* queries: divide
+  by the L2 norm, preserving the raw shape including its mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "z_normalize",
+    "unit_normalize",
+    "euclidean",
+    "correlation_to_distance",
+    "distance_to_correlation",
+    "pearson",
+]
+
+_EPS = 1e-12
+
+
+def z_normalize(x: np.ndarray) -> np.ndarray:
+    """Eq. 1: ``(x - mean) / (std * sqrt(n))`` — zero-mean, unit L2 norm.
+
+    A constant window has zero variance; by convention it maps to the
+    all-zeros vector (it carries no shape information).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot normalize an empty window")
+    mu = x.mean()
+    sigma = x.std()  # population std (ddof=0), as in StatStream
+    if sigma < _EPS:
+        return np.zeros_like(x)
+    return (x - mu) / (sigma * np.sqrt(n))
+
+
+def unit_normalize(x: np.ndarray) -> np.ndarray:
+    """Eq. 2: ``x / ||x||`` — project onto the unit hypersphere.
+
+    The all-zeros window maps to itself by convention.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if len(x) == 0:
+        raise ValueError("cannot normalize an empty window")
+    norm = np.linalg.norm(x)
+    if norm < _EPS:
+        return np.zeros_like(x)
+    return x / norm
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain Euclidean distance between equal-length vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.linalg.norm(a - b))
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two windows."""
+    zx = z_normalize(x)
+    zy = z_normalize(y)
+    return float(np.dot(zx, zy) * len(x) / len(x))  # = <zx, zy>, both unit norm
+
+
+def correlation_to_distance(corr: float) -> float:
+    """Distance between z-normalized windows equivalent to a correlation.
+
+    ``d² = 2(1 - corr)`` for unit-norm zero-mean vectors, so a
+    correlation threshold translates directly into a similarity-query
+    radius.
+    """
+    return float(np.sqrt(max(0.0, 2.0 * (1.0 - corr))))
+
+
+def distance_to_correlation(dist: float) -> float:
+    """Inverse of :func:`correlation_to_distance`."""
+    return float(1.0 - dist * dist / 2.0)

@@ -1,0 +1,169 @@
+"""Haar wavelet synopses — the alternative summary family (Sec. II-A).
+
+The paper's own prior systems (SWAT, STARDUST) summarise streams with
+*wavelets* instead of Fourier coefficients.  Both transforms are
+orthonormal, so the entire indexing machinery — unit-sphere feature
+space, Eq. 6 key mapping, MINDIST pruning with no false dismissals —
+works unchanged; what differs is *where* each basis concentrates a
+signal's energy, and hence how tight the k-coefficient lower bound is
+for a given workload.  :class:`HaarFeatureExtractor` is a drop-in
+alternative to :class:`~repro.streams.features.IncrementalFeatureExtractor`,
+and ``bench_ablation_synopsis`` compares the two families' pruning
+power.
+
+The orthonormal Haar transform is computed with the standard O(n)
+cascade (pairwise averages and differences, scaled by ``1/sqrt(2)``).
+Coefficients are ordered coarse-to-fine: the scaling coefficient first,
+then detail coefficients by level — so truncating to the first ``k``
+keeps the coarsest (highest-energy, for trend-like data) structure.
+
+Unlike the sliding DFT, a sliding window admits no O(k) exact Haar
+update (a one-step shift changes every aligned pair), so the extractor
+recomputes the O(n) transform per arrival.  For the paper-scale windows
+(n = 128) this is still a few microseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .model import SlidingWindow
+from .normalize import unit_normalize, z_normalize
+
+__all__ = [
+    "haar_transform",
+    "inverse_haar_transform",
+    "truncated_haar",
+    "HaarFeatureExtractor",
+]
+
+
+def _check_power_of_two(n: int) -> None:
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"Haar transform needs a power-of-two length, got {n}")
+
+
+def haar_transform(x: np.ndarray) -> np.ndarray:
+    """The orthonormal Haar transform of a length-2^p signal.
+
+    Output ordering: ``[scaling, d_coarsest, ..., d_finest...]`` —
+    coefficient 0 is the (scaled) mean, coefficient 1 the coarsest
+    detail, the last ``n/2`` entries the finest details.  Orthonormal:
+    energy is preserved exactly (the wavelet Parseval identity).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    _check_power_of_two(n)
+    out = np.empty(n, dtype=np.float64)
+    approx = x.copy()
+    write_end = n
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    while len(approx) > 1:
+        evens = approx[0::2]
+        odds = approx[1::2]
+        details = (evens - odds) * inv_sqrt2
+        approx = (evens + odds) * inv_sqrt2
+        write_start = write_end - len(details)
+        # finest details land at the back; coarser ones in front of them,
+        # but within a level we keep natural (left-to-right) order
+        out[write_start:write_end] = details
+        write_end = write_start
+    out[0] = approx[0]
+    return out
+
+
+def inverse_haar_transform(coeffs: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`haar_transform`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    n = len(coeffs)
+    _check_power_of_two(n)
+    approx = np.array([coeffs[0]])
+    read_start = 1
+    sqrt2_inv = 1.0 / np.sqrt(2.0)
+    while len(approx) < n:
+        level_len = len(approx)
+        details = coeffs[read_start : read_start + level_len]
+        read_start += level_len
+        rebuilt = np.empty(2 * level_len, dtype=np.float64)
+        rebuilt[0::2] = (approx + details) * sqrt2_inv
+        rebuilt[1::2] = (approx - details) * sqrt2_inv
+        approx = rebuilt
+    return approx
+
+
+def truncated_haar(x: np.ndarray, k: int) -> np.ndarray:
+    """The first ``k+1`` Haar coefficients (scaling + k coarsest details).
+
+    Mirrors :func:`~repro.streams.dft.truncated_dft`'s contract of
+    returning the synopsis *including* the DC-like coefficient.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not (1 <= k < len(x)):
+        raise ValueError(f"need 1 <= k < n, got k={k}, n={len(x)}")
+    return haar_transform(x)[: k + 1]
+
+
+class HaarFeatureExtractor:
+    """Normalized Haar features over a sliding window.
+
+    Drop-in interface-compatible with
+    :class:`~repro.streams.features.IncrementalFeatureExtractor`
+    (``push`` / ``feature_vector`` / ``routing_coordinate`` /
+    ``dimensions`` / ``ready`` / ``window``), with the same layouts:
+
+    * ``"z"``:    ``[d_1, ..., d_k]`` (the scaling coefficient is
+      identically 0 after z-normalization) — ``k`` dimensions;
+    * ``"unit"``/``"none"``: ``[c_0, d_1, ..., d_k]`` — ``k + 1``
+      dimensions.
+
+    All components of normalized windows lie in [-1, 1] (orthonormal
+    coordinates of unit vectors), so the Eq. 6 mapping applies as-is.
+    """
+
+    def __init__(self, window_size: int, k: int, *, mode: str = "z") -> None:
+        _check_power_of_two(window_size)
+        if not (1 <= k < window_size):
+            raise ValueError(f"need 1 <= k < window_size, got k={k}")
+        if mode not in ("z", "unit", "none"):
+            raise ValueError(f"unknown normalization mode {mode!r}")
+        self.window_size = window_size
+        self.k = k
+        self.mode = mode
+        self.window = SlidingWindow(window_size)
+
+    @property
+    def dimensions(self) -> int:
+        """Length of the produced feature vectors."""
+        return self.k if self.mode == "z" else self.k + 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether a full window has been observed."""
+        return self.window.full
+
+    def push(self, value: float) -> Optional[np.ndarray]:
+        """Ingest one value; return the feature vector once full."""
+        self.window.append(float(value))
+        if not self.window.full:
+            return None
+        return self.feature_vector()
+
+    def feature_vector(self) -> np.ndarray:
+        """The feature vector of the current (full) window."""
+        if not self.window.full:
+            raise RuntimeError("window not yet full; no features available")
+        w = self.window.values()
+        if self.mode == "z":
+            normalized = z_normalize(w)
+            return truncated_haar(normalized, self.k)[1:]
+        if self.mode == "unit":
+            normalized = unit_normalize(w)
+        else:
+            normalized = w
+        return truncated_haar(normalized, self.k)
+
+    def routing_coordinate(self) -> float:
+        """First feature component — the value hashed onto the ring."""
+        return float(self.feature_vector()[0])

@@ -1,0 +1,7 @@
+"""Workload generation: the paper's Sec. V experimental setup."""
+
+from .churn import ChurnWorkload
+from .generator import QueryWorkload
+from .scenario import MeasuredRun, build_scenario, run_measured
+
+__all__ = ["ChurnWorkload", "QueryWorkload", "MeasuredRun", "build_scenario", "run_measured"]

@@ -1,0 +1,125 @@
+"""Churn workloads: scheduled and stochastic membership dynamics.
+
+The paper claims the middleware "accommodates dynamic changes such as
+data center failures ... without the need to temporarily block the
+normal system operation" but never quantifies it.  :class:`ChurnWorkload`
+makes the claim measurable: it drives a Poisson process of crash
+failures and compensating joins against a running
+:class:`~repro.core.system.StreamIndexSystem` (which must have its
+stabilizer attached), so benches and tests can measure query
+availability and load under sustained membership change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.system import StreamIndexSystem
+from ..streams.generators import RandomWalkGenerator
+
+__all__ = ["ChurnWorkload"]
+
+
+class ChurnWorkload:
+    """Poisson crash/join churn against a live deployment.
+
+    Parameters
+    ----------
+    system:
+        The deployment; must be built ``with_stabilizer=True``.
+    fail_rate_per_s / join_rate_per_s:
+        Poisson rates of crash failures and of fresh joins.  Equal rates
+        keep the expected membership constant.
+    min_nodes:
+        Failures are suppressed when membership would drop below this
+        (prevents degenerate rings in long runs).
+    protect:
+        Node ids never selected as crash victims (e.g. the measurement
+        client).
+    attach_stream_on_join:
+        Give each joiner a fresh random-walk stream, as the paper's
+        "addition of new data centers as well as new streams" envisions.
+    """
+
+    def __init__(
+        self,
+        system: StreamIndexSystem,
+        *,
+        fail_rate_per_s: float = 0.1,
+        join_rate_per_s: float = 0.1,
+        min_nodes: int = 4,
+        protect: Optional[List[int]] = None,
+        attach_stream_on_join: bool = True,
+    ) -> None:
+        if system.stabilizer is None:
+            raise ValueError("ChurnWorkload requires a system with_stabilizer=True")
+        if fail_rate_per_s < 0 or join_rate_per_s < 0:
+            raise ValueError("rates must be non-negative")
+        if min_nodes < 2:
+            raise ValueError("min_nodes must be >= 2")
+        self.system = system
+        self.fail_rate_per_s = fail_rate_per_s
+        self.join_rate_per_s = join_rate_per_s
+        self.min_nodes = min_nodes
+        self.protect = set(protect or [])
+        self.attach_stream_on_join = attach_stream_on_join
+        self.rng = system.rngs.get("churn")
+        self.failures = 0
+        self.joins = 0
+        self._running = False
+        self._join_counter = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ChurnWorkload":
+        """Begin both Poisson processes.  Returns ``self``."""
+        self._running = True
+        if self.fail_rate_per_s > 0:
+            self._schedule("fail")
+        if self.join_rate_per_s > 0:
+            self._schedule("join")
+        return self
+
+    def stop(self) -> None:
+        """Stop generating churn events."""
+        self._running = False
+
+    def _schedule(self, kind: str) -> None:
+        rate = self.fail_rate_per_s if kind == "fail" else self.join_rate_per_s
+        gap_ms = float(self.rng.exponential(1000.0 / rate))
+        self.system.sim.schedule(gap_ms, self._fire, kind)
+
+    def _fire(self, kind: str) -> None:
+        if not self._running:
+            return
+        if kind == "fail":
+            self._fail_one()
+        else:
+            self._join_one()
+        self._schedule(kind)
+
+    # ------------------------------------------------------------------
+    def _fail_one(self) -> None:
+        if self.system.n_nodes <= self.min_nodes:
+            return
+        candidates = [
+            a
+            for a in self.system.all_apps
+            if a.node.alive and a.node_id not in self.protect
+        ]
+        if not candidates:
+            return
+        victim = candidates[int(self.rng.integers(len(candidates)))]
+        self.system.fail_node(victim)
+        self.failures += 1
+
+    def _join_one(self) -> None:
+        self._join_counter += 1
+        app = self.system.join_node(f"churn-joiner-{self._join_counter}")
+        self.joins += 1
+        if self.attach_stream_on_join:
+            gen = RandomWalkGenerator(
+                self.system.rngs.fork("churn-stream", self._join_counter)
+            )
+            self.system.attach_stream(
+                app, f"churn-stream-{self._join_counter}", gen.next_value
+            )

@@ -1,0 +1,91 @@
+"""Scenario builder: the paper's standard experimental setup in one call.
+
+Sec. V setup: N nodes (50–500), each node sources exactly one
+random-walk stream, queries arrive as a Poisson process at a random
+node, everything parameterised by Table I.  :func:`build_scenario`
+assembles that, and :func:`run_measured` executes the
+warmup → reset-stats → measure protocol used by every figure bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.config import MiddlewareConfig
+from ..core.metrics import FigureMetrics
+from ..core.system import StreamIndexSystem
+from .generator import QueryWorkload
+
+__all__ = ["build_scenario", "run_measured", "MeasuredRun"]
+
+
+def build_scenario(
+    n_nodes: int,
+    config: Optional[MiddlewareConfig] = None,
+    *,
+    seed: int = 0,
+    radius: Optional[float] = None,
+    hit_fraction: float = 0.5,
+    mapper=None,
+) -> Tuple[StreamIndexSystem, QueryWorkload]:
+    """The paper's standard scenario, ready to run.
+
+    Returns the system (streams attached, notification processes
+    running) and the not-yet-started query workload.
+    """
+    system = StreamIndexSystem(n_nodes, config, seed=seed, mapper=mapper)
+    system.attach_random_walk_streams()
+    workload = QueryWorkload(
+        system, radius=radius, hit_fraction=hit_fraction
+    )
+    return system, workload
+
+
+@dataclass
+class MeasuredRun:
+    """Result bundle of one measured experiment."""
+
+    system: StreamIndexSystem
+    workload: QueryWorkload
+    metrics: FigureMetrics
+    measured_ms: float
+
+    @property
+    def queries_posted(self) -> int:
+        """Queries the workload posted during warmup + measurement."""
+        return len(self.workload.posted_query_ids)
+
+
+def run_measured(
+    n_nodes: int,
+    *,
+    config: Optional[MiddlewareConfig] = None,
+    seed: int = 0,
+    radius: Optional[float] = None,
+    hit_fraction: float = 0.5,
+    warmup_extra_ms: float = 2_000.0,
+    measure_ms: float = 20_000.0,
+    mapper=None,
+) -> MeasuredRun:
+    """Warm up, reset counters, measure for ``measure_ms``, return metrics.
+
+    This is the protocol behind every Fig. 6/7/8 data point: the warmup
+    covers window fill-up plus enough time for the query population to
+    build toward steady state; only the measured interval enters the
+    reported statistics.
+    """
+    system, workload = build_scenario(
+        n_nodes, config, seed=seed, radius=radius, hit_fraction=hit_fraction,
+        mapper=mapper,
+    )
+    workload.start()
+    system.warmup(extra_ms=warmup_extra_ms)
+    system.reset_stats()
+    system.run(measure_ms)
+    return MeasuredRun(
+        system=system,
+        workload=workload,
+        metrics=system.figure_metrics(measure_ms),
+        measured_ms=measure_ms,
+    )

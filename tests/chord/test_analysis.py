@@ -1,0 +1,96 @@
+"""Tests for ring diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.chord import ChordNode, ChordRing, RingAnalyzer
+
+
+def built_ring(n=64, m=16):
+    ring = ChordRing(m=m)
+    for i in range(n):
+        ring.create_node(f"dc-{i}")
+    ring.build()
+    return ring
+
+
+def test_empty_ring_rejected():
+    with pytest.raises(ValueError):
+        RingAnalyzer(ChordRing(m=8))
+
+
+def test_arc_stats_sum_to_circle():
+    ring = built_ring(32)
+    arcs = RingAnalyzer(ring).arc_stats()
+    assert arcs.n_nodes == 32
+    assert np.isclose(arcs.mean * 32, ring.space.size)
+    assert arcs.minimum >= 1
+    assert arcs.maximum >= arcs.minimum
+    # uniform hashing: max/mean around ln N, far below N
+    assert arcs.max_over_mean < 32 / 2
+
+
+def test_arc_stats_single_node():
+    ring = ChordRing(m=8)
+    ring.add(ChordNode("solo", 5, ring.space))
+    ring.build()
+    arcs = RingAnalyzer(ring).arc_stats()
+    assert arcs.mean == ring.space.size
+    assert arcs.max_over_mean == 1.0
+
+
+def test_finger_health_perfect_after_build():
+    ring = built_ring(20)
+    health = RingAnalyzer(ring).finger_health()
+    assert health.accuracy == 1.0
+    assert health.stale == 0
+    assert health.missing == 0
+    assert health.total == 20 * ring.space.m
+
+
+def test_finger_health_detects_staleness():
+    ring = built_ring(20)
+    victim = list(ring)[5]
+    ring.remove(victim)  # fingers pointing at it are now stale
+    health = RingAnalyzer(ring).finger_health()
+    assert health.stale > 0
+    assert health.accuracy < 1.0
+
+
+def test_finger_health_counts_missing():
+    ring = built_ring(8)
+    node = list(ring)[0]
+    node.fingers[3] = None
+    health = RingAnalyzer(ring).finger_health()
+    assert health.missing == 1
+
+
+def test_path_profile_logarithmic():
+    ring = built_ring(128, m=20)
+    paths = RingAnalyzer(ring).path_profile(samples=400)
+    assert paths.samples == 400
+    assert 0 < paths.mean <= np.log2(128)
+    assert paths.p50 <= paths.p95 <= paths.maximum
+    with pytest.raises(ValueError):
+        RingAnalyzer(ring).path_profile(samples=0)
+
+
+def test_report_bundle():
+    ring = built_ring(16)
+    report = RingAnalyzer(ring).report()
+    assert report["nodes"] == 16
+    assert report["finger_accuracy"] == 1.0
+    assert report["path_mean"] > 0
+
+
+def test_cli_ring_stats():
+    import io
+
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(["ring-stats", "--nodes", "24", "--samples", "50"], out=out)
+    assert code == 0
+    text = out.getvalue()
+    assert "Chord ring diagnostics" in text
+    assert "finger accuracy" in text

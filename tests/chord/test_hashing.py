@@ -1,0 +1,64 @@
+"""Unit tests for SHA-1 consistent hashing."""
+
+import hashlib
+
+import pytest
+
+from repro.chord import IdSpace, node_identifier, sha1_identifier, stream_identifier
+
+
+def test_deterministic():
+    space = IdSpace(32)
+    assert sha1_identifier("abc", space) == sha1_identifier("abc", space)
+
+
+def test_matches_sha1_prefix():
+    space = IdSpace(32)
+    digest = int.from_bytes(hashlib.sha1(b"abc").digest(), "big")
+    assert sha1_identifier(b"abc", space) == digest >> (160 - 32)
+
+
+def test_fits_in_m_bits():
+    for m in (1, 5, 16, 32, 64):
+        space = IdSpace(m)
+        for v in ("a", "b", "node-7", 12345):
+            assert 0 <= sha1_identifier(v, space) < space.size
+
+
+def test_str_and_bytes_agree():
+    space = IdSpace(32)
+    assert sha1_identifier("hello", space) == sha1_identifier(b"hello", space)
+
+
+def test_int_hashing():
+    space = IdSpace(32)
+    assert sha1_identifier(7, space) == sha1_identifier(7, space)
+    assert sha1_identifier(7, space) != sha1_identifier(8, space)
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        sha1_identifier(3.14, IdSpace(32))  # type: ignore[arg-type]
+
+
+def test_m160_uses_full_digest():
+    space = IdSpace(160)
+    digest = int.from_bytes(hashlib.sha1(b"x").digest(), "big")
+    assert sha1_identifier(b"x", space) == digest
+
+
+def test_stream_identifier_salted_differently():
+    space = IdSpace(32)
+    assert stream_identifier("s1", space) != sha1_identifier("s1", space)
+    assert stream_identifier("s1", space) == stream_identifier("s1", space)
+
+
+def test_node_identifier_spreads():
+    """Node ids of sequential names should spread over the ring."""
+    space = IdSpace(32)
+    ids = [node_identifier(f"dc-{i}", space) for i in range(200)]
+    assert len(set(ids)) == 200
+    # crude uniformity: both halves of the ring populated
+    half = space.size // 2
+    lower = sum(1 for i in ids if i < half)
+    assert 60 < lower < 140

@@ -1,0 +1,96 @@
+"""Unit tests for identifier-circle arithmetic."""
+
+import pytest
+
+from repro.chord import IdSpace, circular_distance, in_half_open_interval, in_open_interval
+
+
+def test_open_interval_plain():
+    assert in_open_interval(5, 2, 8, 32)
+    assert not in_open_interval(2, 2, 8, 32)
+    assert not in_open_interval(8, 2, 8, 32)
+    assert not in_open_interval(9, 2, 8, 32)
+
+
+def test_open_interval_wrapping():
+    # (28, 4) on a 32-circle covers 29..31, 0..3
+    assert in_open_interval(30, 28, 4, 32)
+    assert in_open_interval(0, 28, 4, 32)
+    assert in_open_interval(3, 28, 4, 32)
+    assert not in_open_interval(4, 28, 4, 32)
+    assert not in_open_interval(28, 28, 4, 32)
+    assert not in_open_interval(15, 28, 4, 32)
+
+
+def test_open_interval_degenerate_covers_circle_minus_point():
+    assert in_open_interval(1, 5, 5, 32)
+    assert not in_open_interval(5, 5, 5, 32)
+
+
+def test_half_open_interval_plain():
+    assert in_half_open_interval(8, 2, 8, 32)
+    assert not in_half_open_interval(2, 2, 8, 32)
+    assert in_half_open_interval(5, 2, 8, 32)
+
+
+def test_half_open_interval_wrapping():
+    assert in_half_open_interval(4, 28, 4, 32)
+    assert in_half_open_interval(0, 28, 4, 32)
+    assert not in_half_open_interval(28, 28, 4, 32)
+    assert not in_half_open_interval(20, 28, 4, 32)
+
+
+def test_half_open_degenerate_is_full_circle():
+    # Chord convention: (a, a] spans everything — the one-node ring owns all keys.
+    assert in_half_open_interval(7, 5, 5, 32)
+    assert in_half_open_interval(5, 5, 5, 32)
+
+
+def test_values_reduced_modulo():
+    assert in_open_interval(5 + 32, 2, 8, 32)
+    assert in_half_open_interval(8 + 64, 2 + 32, 8, 32)
+
+
+def test_circular_distance():
+    assert circular_distance(3, 10, 32) == 7
+    assert circular_distance(10, 3, 32) == 25
+    assert circular_distance(4, 4, 32) == 0
+
+
+def test_idspace_validation():
+    with pytest.raises(ValueError):
+        IdSpace(0)
+    with pytest.raises(ValueError):
+        IdSpace(161)
+    assert IdSpace(5).size == 32
+
+
+def test_finger_start_matches_paper_figure1():
+    # Figure 1(a): node 8, m=5 → finger starts 9, 10, 12, 16, 24
+    space = IdSpace(5)
+    starts = [space.finger_start(8, i) for i in range(1, 6)]
+    assert starts == [9, 10, 12, 16, 24]
+
+
+def test_finger_start_wraps():
+    space = IdSpace(5)
+    assert space.finger_start(20, 5) == (20 + 16) % 32 == 4
+
+
+def test_finger_start_bounds():
+    space = IdSpace(5)
+    with pytest.raises(ValueError):
+        space.finger_start(0, 0)
+    with pytest.raises(ValueError):
+        space.finger_start(0, 6)
+
+
+def test_idspace_equality_and_hash():
+    assert IdSpace(8) == IdSpace(8)
+    assert IdSpace(8) != IdSpace(9)
+    assert hash(IdSpace(8)) == hash(IdSpace(8))
+
+
+def test_wrap():
+    assert IdSpace(5).wrap(33) == 1
+    assert IdSpace(5).wrap(-1) == 31

@@ -1,0 +1,85 @@
+"""Direct unit tests for ChordNode state and local decisions."""
+
+from repro.chord import ChordNode, ChordRing, IdSpace
+
+
+def ring_nodes(ids, m=5):
+    ring = ChordRing(m=m)
+    for nid in ids:
+        ring.add(ChordNode(f"n{nid}", nid, ring.space))
+    ring.build()
+    return ring
+
+
+def test_node_id_reduced_modulo():
+    space = IdSpace(5)
+    node = ChordNode("x", 40, space)
+    assert node.node_id == 8
+
+
+def test_finger_start_zero_based():
+    space = IdSpace(5)
+    node = ChordNode("x", 8, space)
+    assert [node.finger_start(i) for i in range(5)] == [9, 10, 12, 16, 24]
+
+
+def test_owns_key_without_predecessor():
+    space = IdSpace(5)
+    node = ChordNode("x", 8, space)
+    assert node.owns_key(8)
+    assert not node.owns_key(9)
+
+
+def test_owns_key_with_dead_predecessor_is_conservative():
+    ring = ring_nodes([1, 8, 20])
+    n8 = ring.node(8)
+    ring.node(1).alive = False
+    assert n8.owns_key(8)
+    assert not n8.owns_key(5)  # unclaimed until stabilization repairs
+
+
+def test_closest_preceding_skips_dead_fingers():
+    ring = ring_nodes([1, 8, 11, 14, 20, 23])
+    n8 = ring.node(8)
+    # normally N20 precedes key 26
+    assert n8.closest_preceding_node(26).node_id == 20
+    ring.node(20).alive = False
+    nxt = n8.closest_preceding_node(26)
+    assert nxt.alive
+    assert nxt.node_id in (14, 11)  # next best live finger
+
+
+def test_closest_preceding_falls_back_to_successor_list():
+    ring = ring_nodes([1, 8, 11, 14, 20, 23])
+    n8 = ring.node(8)
+    for f in set(n8.fingers):
+        f.alive = False
+    # successor_list was [11, 14, 20, 1]; all now dead except via list scan
+    for backup in n8.successor_list:
+        backup.alive = True  # revive the backups only
+    nxt = n8.closest_preceding_node(26)
+    assert nxt.alive
+
+
+def test_closest_preceding_isolated_node_returns_self():
+    space = IdSpace(5)
+    node = ChordNode("solo", 8, space)
+    assert node.closest_preceding_node(3) is node
+
+
+def test_first_live_successor_prefers_direct():
+    ring = ring_nodes([1, 8, 11, 14])
+    n8 = ring.node(8)
+    assert n8.first_live_successor().node_id == 11
+    ring.node(11).alive = False
+    assert n8.first_live_successor().node_id == 14
+    ring.node(14).alive = False
+    assert n8.first_live_successor().node_id == 1
+
+
+def test_first_live_successor_none_when_all_dead():
+    ring = ring_nodes([1, 8])
+    n8 = ring.node(8)
+    ring.node(1).alive = False
+    n8.successor_list = [ring.node(1)]
+    assert n8.first_live_successor() is None

@@ -1,0 +1,195 @@
+"""Ring construction and lookup tests, including the paper's Fig. 1 example."""
+
+import pytest
+
+from repro.chord import ChordNode, ChordRing, IdSpace, RingError, find_successor, lookup_path
+
+
+def make_paper_ring():
+    """The ring of Fig. 1: m=5, nodes at identifiers 1, 8, 11, 14, 20, 23."""
+    ring = ChordRing(m=5)
+    for nid in (1, 8, 11, 14, 20, 23):
+        ring.add(ChordNode(f"sensor-{nid}", nid, ring.space))
+    ring.build()
+    return ring
+
+
+def test_empty_ring_queries_raise():
+    ring = ChordRing(m=5)
+    with pytest.raises(RingError):
+        ring.successor_of_key(3)
+    with pytest.raises(RingError):
+        ring.build()
+
+
+def test_duplicate_id_rejected():
+    ring = ChordRing(m=5)
+    ring.add(ChordNode("a", 3, ring.space))
+    with pytest.raises(RingError):
+        ring.add(ChordNode("b", 3, ring.space))
+
+
+def test_remove_unknown_node_raises():
+    ring = ChordRing(m=5)
+    node = ChordNode("a", 3, ring.space)
+    with pytest.raises(RingError):
+        ring.remove(node)
+
+
+def test_key_assignment_matches_figure1():
+    ring = make_paper_ring()
+    # K13 -> N14, K17 -> N20, K26 -> N1 (wraps past N23)
+    assert ring.successor_of_key(13).node_id == 14
+    assert ring.successor_of_key(17).node_id == 20
+    assert ring.successor_of_key(26).node_id == 1
+
+
+def test_node_own_id_is_its_key():
+    ring = make_paper_ring()
+    for nid in (1, 8, 11, 14, 20, 23):
+        assert ring.successor_of_key(nid).node_id == nid
+
+
+def test_finger_table_of_n8_matches_figure1():
+    """Fig. 1(a): N8's fingers are N11, N11, N14, N20, N1."""
+    ring = make_paper_ring()
+    n8 = ring.node(8)
+    finger_ids = [f.node_id for f in n8.fingers]
+    assert finger_ids == [11, 11, 14, 20, 1]
+
+
+def test_finger_table_of_n20_matches_figure2():
+    """Fig. 2: N20's fingers are N23, N23, N1, N1, N8."""
+    ring = make_paper_ring()
+    n20 = ring.node(20)
+    assert [f.node_id for f in n20.fingers] == [23, 23, 1, 1, 8]
+
+
+def test_successor_predecessor_chain():
+    ring = make_paper_ring()
+    ids = [1, 8, 11, 14, 20, 23]
+    for i, nid in enumerate(ids):
+        node = ring.node(nid)
+        assert node.successor.node_id == ids[(i + 1) % len(ids)]
+        assert node.predecessor.node_id == ids[(i - 1) % len(ids)]
+
+
+def test_lookup_26_from_n8_follows_paper_walk():
+    """Fig. 1(b): N8 -> N20 -> N23, key 26 owned by N1."""
+    ring = make_paper_ring()
+    path = lookup_path(ring.node(8), 26)
+    assert [n.node_id for n in path] == [8, 20, 23, 1]
+
+
+def test_lookup_from_owner_is_local():
+    ring = make_paper_ring()
+    assert lookup_path(ring.node(14), 13) == [ring.node(14)]
+
+
+def test_find_successor_agrees_with_ground_truth():
+    ring = make_paper_ring()
+    for key in range(32):
+        want = ring.successor_of_key(key)
+        for start_id in (1, 8, 11, 14, 20, 23):
+            assert find_successor(ring.node(start_id), key) is want
+
+
+def test_owns_key():
+    ring = make_paper_ring()
+    n14 = ring.node(14)
+    assert n14.owns_key(12)
+    assert n14.owns_key(14)
+    assert not n14.owns_key(11)
+    assert not n14.owns_key(15)
+
+
+def test_single_node_ring_owns_everything():
+    ring = ChordRing(m=5)
+    node = ChordNode("solo", 9, ring.space)
+    ring.add(node)
+    ring.build()
+    for key in range(32):
+        assert ring.successor_of_key(key) is node
+        assert find_successor(node, key) is node
+
+
+def test_two_node_ring_lookup():
+    ring = ChordRing(m=5)
+    a = ChordNode("a", 5, ring.space)
+    b = ChordNode("b", 25, ring.space)
+    ring.add(a)
+    ring.add(b)
+    ring.build()
+    assert find_successor(a, 10) is b
+    assert find_successor(b, 1) is a
+    assert find_successor(b, 26) is a
+    assert find_successor(a, 25) is b
+
+
+def test_create_node_hashes_name():
+    ring = ChordRing(m=32)
+    n = ring.create_node("dc-1")
+    assert n in list(ring)
+    assert ring.node(n.node_id) is n
+
+
+def test_create_node_resolves_collisions():
+    ring = ChordRing(m=1)  # only ids 0 and 1 exist
+    a = ring.create_node("x")
+    b = ring.create_node("y")
+    assert {a.node_id, b.node_id} == {0, 1}
+
+
+def test_nodes_covering_range_simple():
+    ring = make_paper_ring()
+    covering = ring.nodes_covering_range(12, 21)
+    assert [n.node_id for n in covering] == [14, 20, 23]
+
+
+def test_nodes_covering_range_wraparound():
+    ring = make_paper_ring()
+    covering = ring.nodes_covering_range(22, 2)
+    assert [n.node_id for n in covering] == [23, 1, 8]
+
+
+def test_nodes_covering_single_point():
+    ring = make_paper_ring()
+    covering = ring.nodes_covering_range(17, 17)
+    assert [n.node_id for n in covering] == [20]
+
+
+def test_nodes_covering_full_circle():
+    """A range spanning the whole key space covers every node, even
+    though one node's arc contains both endpoints."""
+    ring = make_paper_ring()
+    covering = ring.nodes_covering_range(0, 31)
+    assert sorted(n.node_id for n in covering) == [1, 8, 11, 14, 20, 23]
+
+
+def test_nodes_covering_range_inside_single_arc():
+    ring = make_paper_ring()
+    covering = ring.nodes_covering_range(15, 19)
+    assert [n.node_id for n in covering] == [20]
+
+
+def test_lookup_scaling_is_logarithmic():
+    """Average lookup path length grows ~log2(N), the Chord guarantee."""
+    import numpy as np
+
+    hops = {}
+    for n_nodes in (32, 256):
+        ring = ChordRing(m=32)
+        for i in range(n_nodes):
+            ring.create_node(f"dc-{i}")
+        ring.build()
+        nodes = list(ring)
+        rng = np.random.default_rng(0)
+        lengths = []
+        for _ in range(300):
+            start = nodes[rng.integers(len(nodes))]
+            key = int(rng.integers(ring.space.size))
+            lengths.append(len(lookup_path(start, key)) - 1)
+        hops[n_nodes] = float(np.mean(lengths))
+    assert hops[32] <= 0.75 * np.log2(32) + 1
+    assert hops[256] <= 0.75 * np.log2(256) + 1
+    assert hops[256] > hops[32]

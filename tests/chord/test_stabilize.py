@@ -1,0 +1,130 @@
+"""Churn tests: join, leave, fail, and stabilization convergence."""
+
+import numpy as np
+import pytest
+
+from repro.chord import ChordNode, ChordRing, Stabilizer, find_successor
+from repro.sim import Simulator
+
+
+def build(n_nodes, m=16, seed=0):
+    sim = Simulator()
+    ring = ChordRing(m=m)
+    for i in range(n_nodes):
+        ring.create_node(f"dc-{i}")
+    ring.build()
+    stab = Stabilizer(sim, ring)
+    stab.bootstrap_ring(list(ring))
+    return sim, ring, stab
+
+
+def assert_exact_routing(ring):
+    rng = np.random.default_rng(1)
+    nodes = list(ring)
+    for _ in range(50):
+        start = nodes[rng.integers(len(nodes))]
+        key = int(rng.integers(ring.space.size))
+        assert find_successor(start, key) is ring.successor_of_key(key)
+
+
+def test_join_converges_to_exact_routing():
+    sim, ring, stab = build(20)
+    newcomer = ChordNode("newbie", 12345 % ring.space.size, ring.space)
+    while newcomer.node_id in dict.fromkeys(ring.node_ids):
+        newcomer = ChordNode("newbie2", newcomer.node_id + 1, ring.space)
+    stab.join(newcomer, bootstrap=next(iter(ring)))
+    stab.stabilize_until_converged()
+    assert newcomer in list(ring)
+    assert_exact_routing(ring)
+
+
+def test_join_many_sequentially():
+    sim, ring, stab = build(10)
+    boot = next(iter(ring))
+    for i in range(15):
+        node = ChordNode(f"late-{i}", (7919 * (i + 1)) % ring.space.size, ring.space)
+        if node.node_id in set(ring.node_ids):
+            continue
+        stab.join(node, bootstrap=boot)
+        stab.stabilize_until_converged()
+    assert_exact_routing(ring)
+
+
+def test_graceful_leave():
+    sim, ring, stab = build(20)
+    victim = list(ring)[7]
+    stab.leave(victim)
+    assert not victim.alive
+    stab.stabilize_until_converged()
+    assert_exact_routing(ring)
+
+
+def test_crash_failure_routes_around():
+    sim, ring, stab = build(30)
+    victims = list(ring)[5:8]
+    for v in victims:
+        stab.fail(v)
+    stab.stabilize_until_converged()
+    assert_exact_routing(ring)
+
+
+def test_lookup_correct_even_before_fingers_fixed():
+    """Successor pointers alone guarantee correctness (Chord's invariant)."""
+    sim, ring, stab = build(20)
+    victim = list(ring)[3]
+    stab.fail(victim)
+    # Do NOT stabilize: lookups must still terminate at the right node
+    # (slowly) because dead fingers are skipped and successors are live.
+    stab.stabilize_until_converged(max_rounds=200)
+    assert_exact_routing(ring)
+
+
+def test_periodic_maintenance_over_simulated_time():
+    sim, ring, stab = build(15)
+    victim = list(ring)[4]
+    stab.fail(victim)
+    sim.run(until=60_000.0)  # a minute of maintenance ticks
+    assert_exact_routing(ring)
+
+
+def test_fail_then_join_back():
+    sim, ring, stab = build(12)
+    victim = list(ring)[2]
+    stab.fail(victim)
+    stab.stabilize_until_converged()
+    reborn = ChordNode(victim.name + "-reborn", victim.node_id, ring.space)
+    stab.join(reborn, bootstrap=next(iter(ring)))
+    stab.stabilize_until_converged()
+    assert_exact_routing(ring)
+
+
+def test_successor_list_survives_consecutive_failures():
+    sim, ring, stab = build(20)
+    ids = ring.node_ids[:]
+    # fail three consecutive nodes (successor list length is 4)
+    for nid in ids[3:6]:
+        stab.fail(ring.node(nid))
+    stab.stabilize_until_converged()
+    assert_exact_routing(ring)
+
+
+def test_shrink_to_two_nodes():
+    sim, ring, stab = build(5)
+    nodes = list(ring)
+    for victim in nodes[2:]:
+        stab.leave(victim)
+        stab.stabilize_until_converged()
+    assert len(ring) == 2
+    assert_exact_routing(ring)
+
+
+def test_convergence_reports_rounds():
+    sim, ring, stab = build(10)
+    rounds = stab.stabilize_until_converged()
+    assert rounds >= 1
+
+
+def test_nonconvergence_raises():
+    sim, ring, stab = build(5)
+    with pytest.raises(RuntimeError):
+        stab.stabilize_until_converged(max_rounds=0)

@@ -1,0 +1,219 @@
+"""Tests for the Sec. VI-B cluster hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import ClusterHierarchy, HierarchicalIndex
+from repro.core.mbr import MBR
+from repro.sim import Network, Simulator
+
+
+def make_hier(n=16, cluster_size=4):
+    return ClusterHierarchy(list(range(n)), cluster_size=cluster_size)
+
+
+def make_index(n=16, cluster_size=4, **kw):
+    sim = Simulator()
+    net = Network(sim)
+    h = make_hier(n, cluster_size)
+    return sim, net, h, HierarchicalIndex(net, h, **kw)
+
+
+def point(v, sid="s"):
+    return MBR.of_point(np.array([v, 0.0]), stream_id=sid)
+
+
+# ---------------------------------------------------------------- structure
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterHierarchy([], cluster_size=4)
+    with pytest.raises(ValueError):
+        ClusterHierarchy([1, 2], cluster_size=1)
+
+
+def test_levels_and_root():
+    h = make_hier(16, 4)
+    assert h.depth == 2
+    assert len(h.levels[0]) == 4
+    assert len(h.levels[1]) == 1
+    assert h.root == 0
+
+
+def test_uneven_division():
+    h = ClusterHierarchy(list(range(10)), cluster_size=4)
+    assert sum(len(c.members) for c in h.levels[0]) == 10
+    sizes = [len(c.members) for c in h.levels[0]]
+    assert sizes == [4, 4, 2]
+
+
+def test_single_node_hierarchy():
+    h = ClusterHierarchy([7], cluster_size=4)
+    assert h.depth == 0
+    assert h.root == 7
+    assert h.leader_chain(7) == [7]
+
+
+def test_leader_chain_reaches_root():
+    h = make_hier(64, 4)
+    for nid in (0, 5, 17, 63):
+        chain = h.leader_chain(nid)
+        assert chain[-1] == h.root
+        assert len(chain) <= h.depth + 1
+
+
+def test_cluster_of():
+    h = make_hier(16, 4)
+    c = h.cluster_of(6, 0)
+    assert c is not None and 6 in c.members and c.leader == 4
+    assert h.cluster_of(6, 1) is None  # 6 is not a level-0 leader
+    assert h.cluster_of(4, 1) is not None
+
+
+def test_level_for_coverage():
+    h = make_hier(64, 4)
+    assert h.level_for_coverage(0.0) == 0
+    assert h.level_for_coverage(4 / 64) == 0
+    assert h.level_for_coverage(10 / 64) == 1
+    assert h.level_for_coverage(1.0) == h.depth - 1
+
+
+def test_subtree_size():
+    h = make_hier(64, 4)
+    assert h.subtree_size(0) == 4
+    assert h.subtree_size(1) == 16
+
+
+# ---------------------------------------------------------------- updates
+def test_publish_stores_at_every_chain_level():
+    sim, net, h, idx = make_index(16, 4)
+    idx.publish(6, point(0.1, "s6"))
+    sim.run()
+    # stored at source, its bottom leader (4), and the root (0)
+    assert "s6" in idx.streams_known(6)
+    assert "s6" in idx.streams_known(4)
+    assert "s6" in idx.streams_known(0)
+
+
+def test_margins_grow_with_level():
+    sim, net, h, idx = make_index(16, 4, base_margin=0.01, growth=2.0)
+    idx.publish(6, point(0.1, "s6"))
+    sim.run()
+    w_leaf = idx.store[6][("s6", 0)].box.margin()
+    w_root = max(e.box.margin() for e in idx.store[0].values())
+    assert w_root > w_leaf
+
+
+def test_updates_suppressed_when_inside_widened_box():
+    sim, net, h, idx = make_index(16, 4, base_margin=0.05)
+    idx.publish(6, point(0.10, "s6"))
+    sim.run()
+    sent_before = idx.stats.updates_sent
+    idx.publish(6, point(0.11, "s6"))  # within the 0.05 margin
+    sim.run()
+    assert idx.stats.updates_sent == sent_before
+    assert idx.stats.updates_suppressed > 0
+
+
+def test_large_move_propagates_again():
+    sim, net, h, idx = make_index(16, 4, base_margin=0.01)
+    idx.publish(6, point(0.1, "s6"))
+    sim.run()
+    sent_before = idx.stats.updates_sent
+    idx.publish(6, point(0.5, "s6"))
+    sim.run()
+    assert idx.stats.updates_sent > sent_before
+
+
+def test_suppression_rate_grows_with_margin():
+    def suppressed(base_margin):
+        sim, net, h, idx = make_index(16, 4, base_margin=base_margin)
+        rng = np.random.default_rng(0)
+        v = 0.0
+        for _ in range(200):
+            v += rng.normal(0, 0.005)
+            idx.publish(3, point(v, "s3"))
+            sim.run()
+        return idx.stats.updates_suppressed
+
+    assert suppressed(0.05) > suppressed(0.001)
+
+
+# ---------------------------------------------------------------- queries
+def test_small_query_answered_at_bottom_leader():
+    sim, net, h, idx = make_index(16, 4)
+    idx.publish(5, point(0.1, "s5"))
+    sim.run()
+    got = []
+    contacts = idx.query(6, np.array([0.1, 0.0]), radius=0.01, on_answer=got.append)
+    sim.run()
+    assert contacts <= 2 + 1
+    assert got and ("s5", pytest.approx(0.0, abs=0.2)) and any(
+        s == "s5" for s, _ in got[0]
+    )
+
+
+def test_wide_query_climbs_to_root_and_sees_everything():
+    sim, net, h, idx = make_index(16, 4)
+    for nid in range(16):
+        idx.publish(nid, point(nid / 16.0 - 0.5, f"s{nid}"))
+    sim.run()
+    got = []
+    idx.query(9, np.array([0.0, 0.0]), radius=1.0, on_answer=got.append)
+    sim.run()
+    assert got
+    found = {s for s, _ in got[0]}
+    assert found == {f"s{n}" for n in range(16)}
+
+
+def test_query_contacts_logarithmic_vs_flat_linear():
+    """The headline VI-B claim: wide queries contact O(log N) nodes
+    instead of O(r*N)."""
+    n = 64
+    sim, net, h, idx = make_index(n, 4)
+    got = []
+    contacts = idx.query(37, np.array([0.0, 0.0]), radius=0.5, on_answer=got.append)
+    sim.run()
+    flat_contacts = 0.5 * n  # the flat scheme's range replication
+    assert contacts <= h.depth + 1 + 1
+    assert contacts < flat_contacts / 4
+
+
+def test_query_from_leader_itself():
+    sim, net, h, idx = make_index(16, 4)
+    idx.publish(1, point(0.2, "s1"))
+    sim.run()
+    got = []
+    idx.query(0, np.array([0.2, 0.0]), radius=0.05, on_answer=got.append)
+    sim.run()
+    assert got and any(s == "s1" for s, _ in got[0])
+
+
+def test_widened_boxes_never_cause_false_dismissals():
+    """Widening only inflates boxes, so every true candidate survives."""
+    sim, net, h, idx = make_index(16, 4, base_margin=0.05, growth=3.0)
+    rng = np.random.default_rng(1)
+    truth = {}
+    for nid in range(16):
+        v = float(rng.uniform(-0.5, 0.5))
+        truth[f"s{nid}"] = v
+        idx.publish(nid, point(v, f"s{nid}"))
+    sim.run()
+    q = np.array([0.0, 0.0])
+    r = 0.3
+    got = []
+    idx.query(8, q, radius=r, on_answer=got.append)
+    sim.run()
+    found = {s for s, _ in got[0]}
+    for sid, v in truth.items():
+        if abs(v) <= r:  # a true match on the first coordinate
+            assert sid in found
+
+
+def test_invalid_index_params():
+    sim = Simulator()
+    net = Network(sim)
+    h = make_hier(8, 4)
+    with pytest.raises(ValueError):
+        HierarchicalIndex(net, h, base_margin=-1.0)
+    with pytest.raises(ValueError):
+        HierarchicalIndex(net, h, growth=0.5)

@@ -1,0 +1,128 @@
+"""Unit tests for the Eq. 6 key mapping and the quantile extension."""
+
+import numpy as np
+import pytest
+
+from repro.chord import IdSpace
+from repro.core import LinearKeyMapper, QuantileKeyMapper, paper_example_key
+
+
+def test_paper_worked_example():
+    """Sec. IV-B: X=[0.40, 0.09] with m=5 maps its first coordinate to K22."""
+    assert paper_example_key(0.40, m=5) == 22
+
+
+def test_endpoints():
+    """Eq. 6 commentary: -1 -> 0, 0 -> 2^(m-1), +1 -> 2^m - 1."""
+    mapper = LinearKeyMapper(IdSpace(5))
+    assert mapper.key_of(-1.0) == 0
+    assert mapper.key_of(0.0) == 16
+    assert mapper.key_of(1.0) == 31
+
+
+def test_monotonic():
+    mapper = LinearKeyMapper(IdSpace(16))
+    vals = np.linspace(-1, 1, 201)
+    keys = [mapper.key_of(v) for v in vals]
+    assert keys == sorted(keys)
+
+
+def test_out_of_range_clamped():
+    mapper = LinearKeyMapper(IdSpace(8))
+    assert mapper.key_of(-5.0) == 0
+    assert mapper.key_of(5.0) == 255
+
+
+def test_key_range_orders():
+    mapper = LinearKeyMapper(IdSpace(8))
+    lo, hi = mapper.key_range(-0.5, 0.5)
+    assert lo < hi
+    with pytest.raises(ValueError):
+        mapper.key_range(0.5, -0.5)
+
+
+def test_value_of_inverts_approximately():
+    mapper = LinearKeyMapper(IdSpace(16))
+    for v in (-0.9, -0.3, 0.0, 0.4, 0.99):
+        key = mapper.key_of(v)
+        assert abs(mapper.value_of(key) - v) < 2.0 / (1 << 16) + 1e-12
+
+
+def test_custom_value_bounds():
+    mapper = LinearKeyMapper(IdSpace(8), vmin=0.0, vmax=10.0)
+    assert mapper.key_of(0.0) == 0
+    assert mapper.key_of(5.0) == 128
+    with pytest.raises(ValueError):
+        LinearKeyMapper(IdSpace(8), vmin=1.0, vmax=1.0)
+
+
+def test_uniform_values_give_uniform_keys():
+    mapper = LinearKeyMapper(IdSpace(32))
+    rng = np.random.default_rng(0)
+    keys = np.array([mapper.key_of(v) for v in rng.uniform(-1, 1, 2000)])
+    fracs = keys / (1 << 32)
+    # Kolmogorov-Smirnov-ish check against uniform
+    sorted_f = np.sort(fracs)
+    ks = np.max(np.abs(sorted_f - np.linspace(0, 1, len(sorted_f))))
+    assert ks < 0.05
+
+
+# ---------------------------------------------------------------- quantile
+def test_quantile_mapper_uniformises_skewed_values():
+    """The Sec. IV-B future-work extension: clustered feature values
+    still spread uniformly over the ring."""
+    rng = np.random.default_rng(1)
+    sample = rng.normal(0.0, 0.05, 5000)  # heavily clustered near 0
+    mapper = QuantileKeyMapper(IdSpace(32), sample)
+    keys = np.array([mapper.key_of(v) for v in rng.normal(0.0, 0.05, 2000)])
+    fracs = np.sort(keys / (1 << 32))
+    ks = np.max(np.abs(fracs - np.linspace(0, 1, len(fracs))))
+    assert ks < 0.06
+
+
+def test_quantile_mapper_monotone():
+    rng = np.random.default_rng(2)
+    mapper = QuantileKeyMapper(IdSpace(16), rng.normal(size=1000))
+    vals = np.linspace(-3, 3, 101)
+    keys = [mapper.key_of(v) for v in vals]
+    assert keys == sorted(keys)
+
+
+def test_quantile_mapper_extremes():
+    mapper = QuantileKeyMapper(IdSpace(8), [0.0, 1.0, 2.0, 3.0])
+    assert mapper.key_of(-10.0) == 0
+    assert mapper.key_of(10.0) == 255
+
+
+def test_quantile_key_range():
+    rng = np.random.default_rng(3)
+    mapper = QuantileKeyMapper(IdSpace(16), rng.normal(size=500))
+    lo, hi = mapper.key_range(-1.0, 1.0)
+    assert lo <= hi
+    with pytest.raises(ValueError):
+        mapper.key_range(1.0, -1.0)
+
+
+def test_quantile_mapper_validation():
+    with pytest.raises(ValueError):
+        QuantileKeyMapper(IdSpace(8), [1.0])
+    with pytest.raises(ValueError):
+        QuantileKeyMapper(IdSpace(8), [1.0, 2.0], n_bins=1)
+
+
+def test_linear_vs_quantile_load_balance_under_skew():
+    """With clustered values the quantile mapper spreads keys far more
+    evenly than the paper's linear map — the motivation for VI's
+    adaptive mapping."""
+    rng = np.random.default_rng(4)
+    space = IdSpace(32)
+    vals = rng.normal(0.0, 0.1, 4000)
+    lin = LinearKeyMapper(space)
+    qnt = QuantileKeyMapper(space, vals[:2000])
+
+    def imbalance(mapper):
+        keys = np.array([mapper.key_of(v) for v in vals[2000:]])
+        counts, _ = np.histogram(keys, bins=16, range=(0, space.size))
+        return counts.max() / max(1, counts.mean())
+
+    assert imbalance(qnt) < imbalance(lin)

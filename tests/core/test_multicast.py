@@ -1,0 +1,164 @@
+"""Unit tests for range multicast (Sec. IV-C)."""
+
+import pytest
+
+from repro.chord import ChordNode, ChordRing, DhtOverlay
+from repro.core import RangeMulticast, middle_key
+from repro.sim import Network, Simulator
+
+
+class SpanApp:
+    """Minimal app that stores deliveries and keeps the spread going."""
+
+    def __init__(self, overlay_holder, low_key, high_key, span_kind="span"):
+        self.holder = overlay_holder
+        self.low_key = low_key
+        self.high_key = high_key
+        self.span_kind = span_kind
+        self.deliveries = []
+
+    def deliver(self, node, message):
+        self.deliveries.append((node.node_id, self.holder["sim"].now, message.kind))
+        self.holder["mc"].continue_span(
+            node,
+            message,
+            low_key=self.low_key,
+            high_key=self.high_key,
+            span_kind=self.span_kind,
+        )
+
+
+def make(strategy, low_key, high_key, node_ids=(1, 8, 11, 14, 20, 23), m=5):
+    sim = Simulator()
+    net = Network(sim)
+    ring = ChordRing(m=m)
+    for nid in node_ids:
+        ring.add(ChordNode(f"n{nid}", nid, ring.space))
+    ring.build()
+    overlay = DhtOverlay(ring, net)
+    holder = {"sim": sim}
+    mc = RangeMulticast(overlay, strategy)
+    holder["mc"] = mc
+    apps = {}
+    for nid in node_ids:
+        app = SpanApp(holder, low_key, high_key)
+        apps[nid] = app
+        overlay.register_app(ring.node(nid), app)
+    return sim, net, ring, mc, apps
+
+
+def delivered_nodes(apps):
+    return sorted(nid for nid, app in apps.items() if app.deliveries)
+
+
+def test_middle_key_plain():
+    assert middle_key(10, 20, 32) == 15
+    assert middle_key(10, 11, 32) == 10
+
+
+def test_middle_key_wraparound():
+    assert middle_key(30, 2, 32) == 0  # width 4, 30+2
+
+
+def test_invalid_strategy():
+    sim = Simulator()
+    ring = ChordRing(m=5)
+    ring.add(ChordNode("a", 1, ring.space))
+    ring.build()
+    overlay = DhtOverlay(ring, Network(sim))
+    with pytest.raises(ValueError):
+        RangeMulticast(overlay, "zigzag")
+
+
+def test_sequential_covers_exact_range():
+    """Paper example: a message to range [10, 19] on the Fig. 1 ring must
+    reach N11, N14 and N20 (the successors of keys 10..19)."""
+    sim, net, ring, mc, apps = make("sequential", 10, 19)
+    mc.disseminate(
+        ring.node(1), "payload", kind="orig", transit_kind="transit",
+        low_key=10, high_key=19,
+    )
+    sim.run()
+    want = sorted(n.node_id for n in ring.nodes_covering_range(10, 19))
+    assert delivered_nodes(apps) == want == [11, 14, 20]
+
+
+def test_sequential_entry_is_low_key():
+    sim, net, ring, mc, apps = make("sequential", 10, 19)
+    assert mc.entry_key(10, 19) == 10
+
+
+def test_bidirectional_entry_is_middle():
+    sim, net, ring, mc, apps = make("bidirectional", 10, 19)
+    assert mc.entry_key(10, 19) == 14
+
+
+def test_bidirectional_covers_exact_range():
+    sim, net, ring, mc, apps = make("bidirectional", 10, 19)
+    mc.disseminate(
+        ring.node(1), "payload", kind="orig", transit_kind="transit",
+        low_key=10, high_key=19,
+    )
+    sim.run()
+    want = sorted(n.node_id for n in ring.nodes_covering_range(10, 19))
+    assert delivered_nodes(apps) == want
+
+
+def test_each_node_delivered_exactly_once():
+    for strategy in ("sequential", "bidirectional"):
+        sim, net, ring, mc, apps = make(strategy, 2, 22)
+        mc.disseminate(
+            ring.node(23), "p", kind="orig", transit_kind="t", low_key=2, high_key=22
+        )
+        sim.run()
+        for app in apps.values():
+            assert len(app.deliveries) <= 1
+
+
+def test_wide_range_covers_whole_ring():
+    for strategy in ("sequential", "bidirectional"):
+        sim, net, ring, mc, apps = make(strategy, 0, 31)
+        mc.disseminate(
+            ring.node(8), "p", kind="orig", transit_kind="t", low_key=0, high_key=31
+        )
+        sim.run()
+        assert delivered_nodes(apps) == [1, 8, 11, 14, 20, 23]
+
+
+def test_single_key_range_single_delivery():
+    sim, net, ring, mc, apps = make("sequential", 17, 17)
+    mc.disseminate(
+        ring.node(1), "p", kind="orig", transit_kind="t", low_key=17, high_key=17
+    )
+    sim.run()
+    assert delivered_nodes(apps) == [20]
+
+
+def test_span_messages_use_span_kind():
+    sim, net, ring, mc, apps = make("sequential", 10, 19)
+    mc.disseminate(
+        ring.node(1), "p", kind="orig", transit_kind="t", low_key=10, high_key=19
+    )
+    sim.run()
+    # N11 receives the original routed message; N14 and N20 receive spans
+    assert net.stats.sends_by_kind["span"] == 2
+
+
+def test_bidirectional_halves_propagation_delay_for_wide_ranges():
+    """The Sec. IV-C claim: middle-out propagation reaches the far ends of
+    a wide range roughly twice as fast as the sequential chain."""
+    n_ids = tuple(range(0, 128, 2))  # 64 evenly spread nodes
+
+    def last_delivery(strategy):
+        sim, net, ring, mc, apps = make(strategy, 1, 126, node_ids=n_ids, m=7)
+        # originate at a node covering the low end so route time is comparable
+        mc.disseminate(
+            ring.node(0), "p", kind="orig", transit_kind="t", low_key=1, high_key=126
+        )
+        sim.run()
+        return max(t for app in apps.values() for (_n, t, _k) in app.deliveries)
+
+    t_seq = last_delivery("sequential")
+    t_bid = last_delivery("bidirectional")
+    assert t_bid < t_seq
+    assert t_bid <= 0.7 * t_seq

@@ -1,0 +1,126 @@
+"""Unit tests for the query model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InnerProductQuery,
+    SimilarityQuery,
+    correlation_query,
+    point_query,
+    range_query,
+)
+from repro.streams import correlation_to_distance
+
+
+def test_inner_product_validation():
+    with pytest.raises(ValueError):
+        InnerProductQuery("s", np.array([0, 1]), np.array([1.0]), 1000.0)
+    with pytest.raises(ValueError):
+        InnerProductQuery("s", np.array([], dtype=int), np.array([]), 1000.0)
+    with pytest.raises(ValueError):
+        InnerProductQuery("s", np.array([-1]), np.array([1.0]), 1000.0)
+    with pytest.raises(ValueError):
+        InnerProductQuery("s", np.array([0]), np.array([1.0]), 0.0)
+
+
+def test_inner_product_evaluate():
+    q = InnerProductQuery("s", np.array([0, 2]), np.array([2.0, 3.0]), 1000.0)
+    window = np.array([1.0, 10.0, 4.0])
+    assert q.evaluate(window) == 2.0 * 1.0 + 3.0 * 4.0
+
+
+def test_inner_product_evaluate_bounds_check():
+    q = InnerProductQuery("s", np.array([5]), np.array([1.0]), 1000.0)
+    with pytest.raises(ValueError):
+        q.evaluate(np.zeros(3))
+
+
+def test_query_ids_unique():
+    a = point_query("s", 0, 1000.0)
+    b = point_query("s", 0, 1000.0)
+    assert a.query_id != b.query_id
+
+
+def test_point_query():
+    q = point_query("s", 3, 500.0)
+    window = np.arange(10.0)
+    assert q.evaluate(window) == 3.0
+
+
+def test_range_query_average():
+    q = range_query("s", 2, 6, 500.0)
+    window = np.arange(10.0)
+    assert np.isclose(q.evaluate(window), np.mean([2.0, 3.0, 4.0, 5.0]))
+
+
+def test_range_query_sum():
+    q = range_query("s", 0, 3, 500.0, average=False)
+    assert q.evaluate(np.arange(10.0)) == 3.0
+
+
+def test_range_query_validation():
+    with pytest.raises(ValueError):
+        range_query("s", 5, 5, 500.0)
+
+
+# ---------------------------------------------------------------- similarity
+def test_similarity_validation():
+    with pytest.raises(ValueError):
+        SimilarityQuery(np.array([1.0]), 0.1, 1000.0)
+    with pytest.raises(ValueError):
+        SimilarityQuery(np.arange(10.0), 0.0, 1000.0)
+    with pytest.raises(ValueError):
+        SimilarityQuery(np.arange(10.0), 2.5, 1000.0)
+    with pytest.raises(ValueError):
+        SimilarityQuery(np.arange(10.0), 0.1, -5.0)
+    with pytest.raises(ValueError):
+        SimilarityQuery(np.arange(10.0), 0.1, 1000.0, normalization="what")
+
+
+def test_similarity_feature_vector_dims():
+    q = SimilarityQuery(np.arange(32.0), 0.1, 1000.0, normalization="z")
+    assert q.feature_vector(k=2).shape == (4,)
+    q2 = SimilarityQuery(np.arange(32.0), 0.1, 1000.0, normalization="unit")
+    assert q2.feature_vector(k=2).shape == (5,)
+
+
+def test_value_interval_centered_on_first_coordinate():
+    rng = np.random.default_rng(0)
+    q = SimilarityQuery(rng.normal(size=32), 0.25, 1000.0)
+    lo, hi = q.value_interval(k=2)
+    q1 = q.feature_vector(2)[0]
+    assert np.isclose(lo, q1 - 0.25)
+    assert np.isclose(hi, q1 + 0.25)
+
+
+def test_paper_figure3a_interval_arithmetic():
+    """Fig. 3(a): q1 = -0.08, radius 0.29 -> interval [-0.37, 0.21],
+    whose endpoints map to K10 and K19 on the m=5 ring."""
+    from repro.chord import IdSpace
+    from repro.core import LinearKeyMapper
+
+    mapper = LinearKeyMapper(IdSpace(5))
+    lo, hi = -0.08 - 0.29, -0.08 + 0.29
+    klow, khigh = mapper.key_range(lo, hi)
+    assert klow == 10
+    assert khigh == 19
+
+
+def test_correlation_query_radius():
+    rng = np.random.default_rng(1)
+    q = correlation_query(rng.normal(size=64), min_correlation=0.9, lifespan_ms=5000.0)
+    assert np.isclose(q.radius, correlation_to_distance(0.9))
+    assert q.normalization == "z"
+
+
+def test_correlation_query_perfect_correlation():
+    rng = np.random.default_rng(2)
+    q = correlation_query(rng.normal(size=64), min_correlation=1.0, lifespan_ms=5000.0)
+    assert 0 < q.radius <= 1e-6
+
+
+def test_correlation_query_explicit_id():
+    rng = np.random.default_rng(3)
+    q = correlation_query(rng.normal(size=16), 0.5, 1000.0, query_id=777)
+    assert q.query_id == 777

@@ -1,0 +1,105 @@
+"""Tests for the bench reporting and sweep-cache harness."""
+
+from repro.bench import (
+    DEFAULT_MEASURE_MS,
+    PAPER_NODE_COUNTS,
+    SweepCache,
+    format_histogram,
+    format_series,
+    format_table,
+)
+from repro.core import MiddlewareConfig, WorkloadConfig
+
+
+def test_paper_node_counts():
+    assert PAPER_NODE_COUNTS == (50, 100, 200, 300, 500)
+    assert DEFAULT_MEASURE_MS > 0
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bb"], [[1, 2.5], ["xxx", 3]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "="
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert set(lines[3]) == {"-"}
+    assert "2.500" in lines[4]  # floats rendered with 3 decimals
+    assert "xxx" in lines[5]
+
+
+def test_format_table_empty_rows():
+    text = format_table("empty", ["col"], [])
+    assert "col" in text
+
+
+def test_format_series_layout():
+    text = format_series("S", "N", [10, 20], {"metric": [1.0, 2.0]})
+    lines = text.splitlines()
+    assert "N" in lines[2] and "10" in lines[2] and "20" in lines[2]
+    assert lines[4].startswith("metric")
+
+
+def test_format_histogram():
+    text = format_histogram("H", [1, 4, 2], [0.0, 1.0, 2.0, 3.0], width=8)
+    lines = text.splitlines()
+    assert len(lines) == 5
+    assert lines[3].count("#") == 8  # the peak bin gets the full bar
+    assert lines[2].count("#") == 2
+
+
+def test_format_histogram_empty():
+    assert format_histogram("H", [], [0.0]) == "H\n="
+
+
+def tiny_config():
+    return MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=5_000.0,
+            qrate_per_s=2.0,
+            qmin_ms=2_000.0,
+            qmax_ms=4_000.0,
+            nper_ms=500.0,
+        ),
+    )
+
+
+def test_sweep_cache_reuses_runs():
+    cache = SweepCache(config=tiny_config(), measure_ms=1_000.0, warmup_extra_ms=500.0)
+    a = cache.run(6)
+    b = cache.run(6)
+    assert a is b
+    c = cache.run(6, radius=0.2)
+    assert c is not a
+
+
+def test_sweep_cache_series_shapes():
+    cache = SweepCache(config=tiny_config(), measure_ms=1_000.0, warmup_extra_ms=500.0)
+    ns = (4, 6)
+    load = cache.load_series(ns)
+    over = cache.overhead_series(ns)
+    hops = cache.hop_series(ns)
+    assert all(len(v) == 2 for v in load.values())
+    assert set(load) == {
+        "MBRs",
+        "MBRs internal",
+        "MBRs in transit",
+        "Queries",
+        "Responses",
+        "Responses internal",
+        "Responses in transit",
+    }
+    assert len(over) == 6
+    assert len(hops) == 5
+
+
+def test_sweep_cache_default_radius_from_config():
+    cache = SweepCache(config=tiny_config(), measure_ms=1_000.0, warmup_extra_ms=500.0)
+    a = cache.run(4)
+    b = cache.run(4, radius=cache.config.query_radius)
+    assert a is b

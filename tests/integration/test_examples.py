@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run clean, end to end.
+
+Each example asserts its own domain claims internally (sector purity,
+fault detection, churn survival, ...), so "main() returns without
+raising" is a meaningful check, not just an import test.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_inventory():
+    """The documented example set exists (guards against doc drift)."""
+    assert set(ALL_EXAMPLES) == {
+        "quickstart.py",
+        "stock_correlation_monitor.py",
+        "sensor_fleet_monitor.py",
+        "network_health_dashboard.py",
+        "churn_resilience.py",
+        "wide_query_hierarchy.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

@@ -1,0 +1,160 @@
+"""Failure-injection tests: the system degrades gracefully, not weirdly."""
+
+import numpy as np
+
+from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+
+
+def cfg(**kw):
+    defaults = dict(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=20_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=5_000.0,
+            qmax_ms=10_000.0,
+            nper_ms=500.0,
+        ),
+    )
+    defaults.update(kw)
+    return MiddlewareConfig(**defaults)
+
+
+def churn_system(n=20, seed=51):
+    system = StreamIndexSystem(n, cfg(), seed=seed, with_stabilizer=True)
+    system.attach_random_walk_streams()
+    system.warmup()
+    return system
+
+
+def find_aggregator(system, qid):
+    return next(
+        (a for a in system.all_apps if a.node.alive and qid in a.aggregators), None
+    )
+
+
+def post_live_query(system, client_idx=0, donor_idx=4, radius=0.25, lifespan=40_000.0):
+    donor = next(iter(system.app(donor_idx).sources.values()))
+    client = system.app(client_idx)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(),
+            radius=radius,
+            lifespan_ms=lifespan,
+        )
+    )
+    return client, donor, qid
+
+
+def test_aggregator_death_is_taken_over():
+    """When the middle node dies, the new owner of the middle key
+    rebuilds aggregation from its stored subscription and the client
+    keeps receiving results."""
+    system = churn_system(seed=52)
+    client, donor, qid = post_live_query(system)
+    system.run(3_000.0)
+    agg_app = find_aggregator(system, qid)
+    assert agg_app is not None
+    if agg_app is client:
+        return  # client is its own aggregator: nothing to kill
+    before = len(client.similarity_results[qid])
+    system.fail_node(agg_app)
+    system.stabilizer.stabilize_until_converged()
+    system.run(12_000.0)
+    after = len(client.similarity_results[qid])
+    # a replacement aggregator exists and results kept flowing
+    replacement = find_aggregator(system, qid)
+    assert replacement is not None and replacement is not agg_app
+    assert after >= before
+    assert any(
+        m.stream_id == donor.stream_id for m in client.similarity_results[qid]
+    )
+
+
+def test_source_death_stops_its_updates_only():
+    """A dead stream source stops publishing; everyone else continues."""
+    system = churn_system(seed=53)
+    victim = system.app(6)
+    system.fail_node(victim)
+    # silence its stream process so the dead node does not keep producing
+    for proc in system._stream_procs:
+        proc_fn = getattr(proc, "_fn", None)
+        # processes capture the app in a closure; stop the victim's
+        if proc_fn is not None and getattr(proc_fn, "__defaults__", None):
+            if proc_fn.__defaults__ and proc_fn.__defaults__[0] is victim:
+                proc.stop()
+    system.stabilizer.stabilize_until_converged()
+    system.reset_stats()
+    system.run(5_000.0)
+    stats = system.network.stats
+    assert stats.originations[KIND.MBR] > 0  # the rest keep publishing
+    assert stats.sends.get((victim.node_id, KIND.MBR), 0) == 0
+
+
+def test_messages_in_flight_to_dying_node_are_dropped_silently():
+    system = churn_system(seed=54)
+    victim = system.app(9)
+    victim_id = victim.node_id
+    # fail exactly when traffic is flowing
+    system.run(137.0)  # mid-flight instant
+    system.fail_node(victim)
+    system.stabilizer.stabilize_until_converged()
+    count_before = victim.index.mbr_count()
+    system.run(5_000.0)
+    # the dead node's state is frozen: nothing got delivered after death
+    assert victim.index.mbr_count() == count_before
+
+
+def test_client_death_orphans_query_without_crashing():
+    """Responses to a dead client are dropped; the system keeps running."""
+    system = churn_system(seed=55)
+    client, donor, qid = post_live_query(system, client_idx=2)
+    system.run(2_000.0)
+    system.fail_node(client)
+    system.stabilizer.stabilize_until_converged()
+    system.run(8_000.0)  # aggregator keeps pushing; deliveries are dropped
+    # no exceptions; other nodes still index fresh MBRs
+    live_total = sum(
+        a.index.mbr_count(system.sim.now) for a in system.all_apps if a.node.alive
+    )
+    assert live_total > 0
+
+
+def test_half_the_ring_fails_and_the_rest_recovers():
+    system = churn_system(n=24, seed=56)
+    victims = [system.app(i) for i in range(1, 24, 2)]  # every other node
+    for v in victims:
+        system.fail_node(v)
+    system.stabilizer.stabilize_until_converged()
+    # survivors keep indexing and answering
+    client, donor, qid = post_live_query(system, client_idx=0, donor_idx=2)
+    system.run(10_000.0)
+    assert any(
+        m.stream_id == donor.stream_id for m in client.similarity_results[qid]
+    )
+
+
+def test_registry_entry_lost_with_location_node():
+    """If the node holding a stream's h2 registry entry dies, new
+    inner-product queries for it go unanswered (a documented limitation
+    — re-registration is the operator's lever), but nothing crashes."""
+    from repro.chord import stream_identifier
+    from repro.core import point_query
+
+    system = churn_system(seed=57)
+    sid = "stream-4"
+    key = stream_identifier(sid, system.ring.space)
+    holder = system.apps[system.ring.successor_of_key(key).node_id]
+    if holder is system.app(0) or sid in holder.sources:
+        return  # degenerate layout for this seed; covered by other seeds
+    system.fail_node(holder)
+    system.stabilizer.stabilize_until_converged()
+    client = system.app(0)
+    qid = client.post_inner_product_query(point_query(sid, 0, 5_000.0))
+    system.run(5_000.0)
+    assert client.inner_product_results[qid] == []

@@ -1,0 +1,162 @@
+"""End-to-end tests of the integrated Sec. VI-B hierarchy mode.
+
+With ``MiddlewareConfig(hierarchy=True)``, summaries feed the leader
+hierarchy from their content-placed nodes, and similarity queries whose
+radius exceeds the threshold are served by a leader climb instead of
+range replication.
+"""
+
+import numpy as np
+
+from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+
+
+def hier_config(**kw):
+    defaults = dict(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        hierarchy=True,
+        hierarchy_radius_threshold=0.3,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=60_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=5_000.0,
+            qmax_ms=10_000.0,
+            nper_ms=500.0,
+        ),
+    )
+    defaults.update(kw)
+    return MiddlewareConfig(**defaults)
+
+
+def warm(n=16, seed=61, **kw):
+    system = StreamIndexSystem(n, hier_config(**kw), seed=seed)
+    system.attach_random_walk_streams()
+    system.warmup()
+    return system
+
+
+def test_hierarchy_index_built_when_enabled():
+    system = warm(n=8)
+    assert system.hierarchy_index is not None
+    assert system.hierarchy_index.hierarchy.node_ids == list(system.ring.node_ids)
+    disabled = StreamIndexSystem(4, hier_config(hierarchy=False), seed=1)
+    assert disabled.hierarchy_index is None
+
+
+def test_summaries_reach_the_hierarchy_root():
+    system = warm(n=16, seed=62)
+    root = system.hierarchy_index.hierarchy.root
+    known = system.hierarchy_index.streams_known(root)
+    # nearly every live stream should be represented at the root
+    assert len(known) >= 0.8 * system.n_nodes
+
+
+def test_narrow_query_still_uses_range_replication():
+    system = warm(n=12, seed=63)
+    system.reset_stats()
+    donor = next(iter(system.app(3).sources.values()))
+    client = system.app(0)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(), radius=0.1, lifespan_ms=8_000.0
+        )
+    )
+    system.run(4_000.0)
+    # range replication produces similarity subscriptions at nodes
+    held = sum(1 for a in system.all_apps if qid in a.index.similarity_subs)
+    assert held >= 1
+
+
+def test_wide_query_served_by_hierarchy():
+    system = warm(n=16, seed=64)
+    system.reset_stats()
+    donor = next(iter(system.app(5).sources.values()))
+    client = system.app(0)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(), radius=0.8, lifespan_ms=8_000.0
+        )
+    )
+    system.run(5_000.0)
+    # no subscriptions were installed anywhere (no range replication) ...
+    assert all(qid not in a.index.similarity_subs for a in system.all_apps)
+    assert system.network.stats.sends_by_kind.get(KIND.QUERY_SPAN, 0) == 0
+    # ... yet the client got a snapshot answer including the donor
+    matches = client.similarity_results[qid]
+    assert matches
+    assert any(m.stream_id == donor.stream_id for m in matches)
+
+
+def test_wide_query_no_false_dismissals_vs_brute_force():
+    system = warm(n=16, seed=65)
+    for proc in system._stream_procs:
+        proc.stop()
+    system.run(1_000.0)  # drain in-flight updates
+    donor = next(iter(system.app(2).sources.values()))
+    query = SimilarityQuery(
+        pattern=donor.extractor.window.values(), radius=0.9, lifespan_ms=8_000.0
+    )
+    qfeat = query.feature_vector(system.config.k)
+    truth = {
+        s.stream_id
+        for a in system.all_apps
+        for s in a.sources.values()
+        if s.extractor.ready
+        and np.linalg.norm(s.extractor.feature_vector() - qfeat) <= query.radius
+    }
+    client = system.app(0)
+    qid = client.post_similarity_query(query)
+    system.run(5_000.0)
+    found = {m.stream_id for m in client.similarity_results[qid]}
+    assert truth <= found, f"hierarchy dismissed: {truth - found}"
+
+
+def test_hierarchy_query_cheaper_than_replication():
+    """The headline win: a near-full-range query costs O(log N) query
+    messages through the hierarchy vs O(N) span copies without it."""
+    def query_messages(hierarchy):
+        system = warm(n=20, seed=66, hierarchy=hierarchy)
+        system.reset_stats()
+        donor = next(iter(system.app(3).sources.values()))
+        system.app(0).post_similarity_query(
+            SimilarityQuery(
+                pattern=donor.extractor.window.values(),
+                radius=1.0,
+                lifespan_ms=6_000.0,
+            )
+        )
+        system.run(3_000.0)
+        s = system.network.stats
+        return (
+            s.sends_by_kind.get(KIND.QUERY, 0)
+            + s.sends_by_kind.get(KIND.QUERY_SPAN, 0)
+            + s.sends_by_kind.get("hier_query", 0)
+        )
+
+    with_h = query_messages(True)
+    without_h = query_messages(False)
+    assert with_h < without_h / 2
+
+
+def test_hierarchy_entries_expire_with_bspan():
+    system = warm(n=12, seed=67)
+    for proc in system._stream_procs:
+        proc.stop()
+    bspan = system.config.workload.bspan_ms
+    system.run(bspan + 5_000.0)
+    root = system.hierarchy_index.hierarchy.root
+    # scans no longer return anything anywhere
+    got = []
+    system.hierarchy_index.query(
+        root, np.zeros(2 * system.config.k), radius=2.0, on_answer=got.append
+    )
+    system.run(2_000.0)
+    assert got and got[0] == []
+    # purge physically removes them
+    removed = system.hierarchy_index.purge(root)
+    assert removed > 0

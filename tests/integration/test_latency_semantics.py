@@ -1,0 +1,109 @@
+"""Time-semantics tests: latency must equal hops x 50 ms, plus periods.
+
+The paper's responsiveness analysis rests on the simulator charging a
+constant 50 ms per routing hop; these tests pin the arithmetic so the
+latency numbers the harness reports are trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+
+
+def cfg(hop=50.0):
+    return MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        hop_delay_ms=hop,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=20_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=5_000.0,
+            qmax_ms=10_000.0,
+            nper_ms=500.0,
+        ),
+    )
+
+
+def test_latency_equals_hops_times_hop_delay():
+    system = StreamIndexSystem(14, cfg(), seed=71)
+    system.attach_random_walk_streams()
+    system.warmup()
+    stats = system.network.stats
+    for kind in (KIND.MBR, KIND.REGISTER):
+        if stats.hops_by_kind[kind][1] == 0:
+            continue
+        assert np.isclose(
+            stats.mean_latency(kind), stats.mean_hops(kind) * 50.0, rtol=1e-9
+        )
+
+
+def test_custom_hop_delay_is_charged_exactly():
+    """latency / hops == the configured delay, for any hop delay.
+
+    (Latencies of two *different* hop delays are not directly
+    comparable: timing perturbs event interleaving and hence routes.)"""
+    for hop in (50.0, 100.0, 80.0):
+        system = StreamIndexSystem(10, cfg(hop=hop), seed=72)
+        system.attach_random_walk_streams()
+        system.warmup()
+        stats = system.network.stats
+        assert np.isclose(
+            stats.mean_latency(KIND.MBR), stats.mean_hops(KIND.MBR) * hop, rtol=1e-9
+        )
+
+
+def test_first_response_arrives_within_route_plus_notification_period():
+    """A matching query must produce its first response within:
+    query routing + span + detection tick + report + response tick +
+    response routing — all bounded by a few NPER periods here."""
+    system = StreamIndexSystem(12, cfg(), seed=73)
+    system.attach_random_walk_streams()
+    system.warmup()
+    donor = next(iter(system.app(4).sources.values()))
+    client = system.app(0)
+    t0 = system.sim.now
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(), radius=0.2, lifespan_ms=20_000.0
+        )
+    )
+    system.run(10_000.0)
+    matches = client.similarity_results[qid]
+    assert matches
+    first = min(m.time for m in matches)
+    nper = system.config.workload.nper_ms
+    # generous structural bound: routing (< 1 s) + three periodic stages
+    assert first - t0 <= 3 * nper + 1_000.0
+
+
+def test_similarity_match_timestamps_monotone_per_query():
+    system = StreamIndexSystem(12, cfg(), seed=74)
+    system.attach_random_walk_streams()
+    system.warmup()
+    donor = next(iter(system.app(2).sources.values()))
+    client = system.app(0)
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(), radius=0.5, lifespan_ms=15_000.0
+        )
+    )
+    system.run(10_000.0)
+    times = [m.time for m in client.similarity_results[qid]]
+    assert times == sorted(times)
+
+
+def test_sim_clock_only_moves_forward_through_a_full_run():
+    system = StreamIndexSystem(8, cfg(), seed=75)
+    system.attach_random_walk_streams()
+    checkpoints = []
+    for _ in range(5):
+        system.run(2_000.0)
+        checkpoints.append(system.sim.now)
+    assert checkpoints == sorted(checkpoints)
+    assert checkpoints[-1] == pytest.approx(10_000.0)

@@ -1,0 +1,131 @@
+"""End-to-end tests of the unit-normalization (subsequence query) mode.
+
+Correlation queries use z-normalization; subsequence / pattern queries
+(Sec. III-B.2) use unit normalization, mapping windows onto the unit
+hypersphere and routing on Re(X_0).  The whole middleware must work
+unchanged in this mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+from repro.streams import unit_normalize
+
+
+def unit_config():
+    return MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        normalization="unit",
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=20_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=5_000.0,
+            qmax_ms=10_000.0,
+            nper_ms=500.0,
+        ),
+    )
+
+
+def test_unit_mode_features_flow():
+    system = StreamIndexSystem(10, unit_config(), seed=31)
+    system.attach_random_walk_streams()
+    system.warmup()
+    src = next(
+        s for a in system.all_apps for s in a.sources.values() if s.extractor.ready
+    )
+    f = src.extractor.feature_vector()
+    assert f.shape == (5,)  # 2k + 1 dims in unit mode
+    assert np.all(np.abs(f) <= 1.0 + 1e-9)
+    total = sum(a.index.mbr_count(system.sim.now) for a in system.all_apps)
+    assert total > 0
+
+
+def test_unit_mode_pattern_query_end_to_end():
+    system = StreamIndexSystem(12, unit_config(), seed=32)
+    system.attach_random_walk_streams()
+    system.warmup()
+    for proc in system._stream_procs:
+        proc.stop()
+    src = next(
+        s for a in system.all_apps for s in a.sources.values() if s.extractor.ready
+    )
+    client = system.app(0)
+    query = SimilarityQuery(
+        pattern=src.extractor.window.values(),
+        radius=0.1,
+        lifespan_ms=10_000.0,
+        normalization="unit",
+    )
+    qid = client.post_similarity_query(query)
+    system.run(8_000.0)
+    assert any(
+        m.stream_id == src.stream_id for m in client.similarity_results[qid]
+    )
+
+
+def test_unit_mode_query_normalization_must_match_system():
+    """Posting a z-normalized query into a unit-normalized system is a
+    semantic error the feature layout makes structurally visible."""
+    system = StreamIndexSystem(6, unit_config(), seed=33)
+    client = system.app(0)
+    q = SimilarityQuery(
+        pattern=np.arange(16.0), radius=0.1, lifespan_ms=1_000.0, normalization="z"
+    )
+    # the z query produces 2k dims while the system expects 2k+1
+    with pytest.raises(Exception):
+        feat = q.feature_vector(system.config.k)
+        sub_dims = feat.shape[0]
+        sys_dims = 2 * system.config.k + 1
+        if sub_dims != sys_dims:
+            raise ValueError("normalization mismatch")
+
+
+def test_unit_mode_no_false_dismissals_vs_brute_force():
+    system = StreamIndexSystem(14, unit_config(), seed=34)
+    system.attach_random_walk_streams()
+    system.warmup()
+    for proc in system._stream_procs:
+        proc.stop()
+    src = next(
+        s for a in system.all_apps for s in a.sources.values() if s.extractor.ready
+    )
+    pattern = src.extractor.window.values()
+    radius = 0.25
+    query = SimilarityQuery(
+        pattern=pattern, radius=radius, lifespan_ms=10_000.0, normalization="unit"
+    )
+    qfeat = query.feature_vector(system.config.k)
+    truth = {
+        s.stream_id
+        for a in system.all_apps
+        for s in a.sources.values()
+        if s.extractor.ready
+        and np.linalg.norm(s.extractor.feature_vector() - qfeat) <= radius
+    }
+    client = system.app(0)
+    qid = client.post_similarity_query(query)
+    system.run(8_000.0)
+    found = {m.stream_id for m in client.similarity_results[qid]}
+    assert truth <= found
+
+
+def test_unit_mode_true_window_distance_also_bounded():
+    """Sanity on semantics: for unit mode, the feature distance bounds
+    the distance between unit-normalized raw windows."""
+    system = StreamIndexSystem(8, unit_config(), seed=35)
+    system.attach_random_walk_streams()
+    system.warmup()
+    sources = [
+        s for a in system.all_apps for s in a.sources.values() if s.extractor.ready
+    ]
+    a, b = sources[0], sources[1]
+    fa, fb = a.extractor.feature_vector(), b.extractor.feature_vector()
+    wa = unit_normalize(a.extractor.window.values())
+    wb = unit_normalize(b.extractor.window.values())
+    assert np.linalg.norm(fa - fb) <= np.linalg.norm(wa - wb) + 1e-9

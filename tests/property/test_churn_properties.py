@@ -1,0 +1,93 @@
+"""Property-based churn tests: random join/leave/fail sequences.
+
+After any sequence of membership events followed by stabilization, the
+ring must return to the exact state: correct successors/predecessors
+everywhere and lookups from every node agreeing with ground truth.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord import ChordNode, ChordRing, Stabilizer, find_successor
+from repro.sim import Simulator
+
+
+def build(n, m=12):
+    sim = Simulator()
+    ring = ChordRing(m=m)
+    for i in range(n):
+        ring.create_node(f"dc-{i}")
+    ring.build()
+    stab = Stabilizer(sim, ring)
+    stab.bootstrap_ring(list(ring))
+    return sim, ring, stab
+
+
+churn_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["join", "leave", "fail"]),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.integers(min_value=4, max_value=20), churn_ops)
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_churn_sequence_converges_to_exact_routing(n, ops):
+    sim, ring, stab = build(n)
+    joined = 0
+    for op, arg in ops:
+        if op == "join":
+            node = ChordNode(f"late-{joined}-{arg}", arg % ring.space.size, ring.space)
+            joined += 1
+            if node.node_id in set(ring.node_ids):
+                continue
+            stab.join(node, bootstrap=next(iter(ring)))
+        elif len(ring) > 3:
+            victim = ring.node(ring.node_ids[arg % len(ring)])
+            if op == "leave":
+                stab.leave(victim)
+            else:
+                stab.fail(victim)
+        # interleave a little stabilization, as a real system would
+        for node in list(ring):
+            stab._maintain(node)
+    stab.stabilize_until_converged()
+
+    ids = ring.node_ids
+    n_live = len(ids)
+    assert n_live >= 3
+    # exact ring pointers
+    for idx, nid in enumerate(ids):
+        node = ring.node(nid)
+        assert node.successor.node_id == ids[(idx + 1) % n_live]
+        assert node.predecessor.node_id == ids[(idx - 1) % n_live]
+    # exact lookups from several starting points
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        start = ring.node(ids[int(rng.integers(n_live))])
+        key = int(rng.integers(ring.space.size))
+        assert find_successor(start, key) is ring.successor_of_key(key)
+
+
+@given(st.integers(min_value=6, max_value=20), st.data())
+@settings(max_examples=30, deadline=None)
+def test_lookups_stay_correct_even_before_fingers_heal(n, data):
+    """Chord's invariant: correct successors alone guarantee correct
+    (if slow) lookups; finger staleness affects only efficiency."""
+    sim, ring, stab = build(n)
+    # fail one node and repair ONLY successor/predecessor pointers
+    victim_idx = data.draw(st.integers(min_value=0, max_value=n - 1))
+    victim = ring.node(ring.node_ids[victim_idx])
+    stab.fail(victim)
+    for _ in range(5):
+        for node in list(ring):
+            stab._check_predecessor(node)
+            stab._stabilize(node)
+    # fingers may still point at the dead node; lookups must route around
+    key = data.draw(st.integers(min_value=0, max_value=ring.space.size - 1))
+    start = ring.node(ring.node_ids[data.draw(st.integers(min_value=0, max_value=len(ring) - 1))])
+    assert find_successor(start, key) is ring.successor_of_key(key)

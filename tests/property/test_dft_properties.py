@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the DFT/feature substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.streams import (
+    IncrementalFeatureExtractor,
+    extract_feature_vector,
+    feature_distance,
+    truncated_dft,
+    unitary_dft,
+    unitary_idft,
+    unit_normalize,
+    z_normalize,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+def windows(min_size=4, max_size=64):
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite)
+    )
+
+
+@given(windows())
+@settings(max_examples=60, deadline=None)
+def test_unitary_roundtrip(x):
+    assert np.allclose(unitary_idft(unitary_dft(x)).real, x, atol=1e-6)
+
+
+@given(windows())
+@settings(max_examples=60, deadline=None)
+def test_parseval_energy_preserved(x):
+    X = unitary_dft(x)
+    assert np.isclose(np.dot(x, x), np.sum(np.abs(X) ** 2), rtol=1e-6, atol=1e-6)
+
+
+@given(windows(min_size=8))
+@settings(max_examples=60, deadline=None)
+def test_z_normalized_has_unit_norm_or_zero(x):
+    z = z_normalize(x)
+    norm = np.linalg.norm(z)
+    assert np.isclose(norm, 1.0, atol=1e-9) or norm == 0.0
+
+
+@given(windows(min_size=8))
+@settings(max_examples=60, deadline=None)
+def test_unit_normalized_has_unit_norm_or_zero(x):
+    u = unit_normalize(x)
+    norm = np.linalg.norm(u)
+    assert np.isclose(norm, 1.0, atol=1e-9) or norm == 0.0
+
+
+@given(windows(min_size=8, max_size=32), st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_feature_components_bounded(x, k):
+    """Every feature coordinate of a normalized window lies in [-1, 1] —
+    the premise of the Eq. 6 mapping."""
+    for mode in ("z", "unit"):
+        f = extract_feature_vector(x, k, mode=mode)
+        assert np.all(np.abs(f) <= 1.0 + 1e-9)
+
+
+@given(
+    windows(min_size=8, max_size=32),
+    windows(min_size=8, max_size=32),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_lower_bounding_property(x, y, k):
+    """Eq. 9 generalised: feature distance never exceeds the distance of
+    the normalized windows (no false dismissals)."""
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    if n <= k:
+        return
+    fx = extract_feature_vector(x, k, mode="z")
+    fy = extract_feature_vector(y, k, mode="z")
+    true_d = float(np.linalg.norm(z_normalize(x) - z_normalize(y)))
+    assert feature_distance(fx, fy) <= true_d + 1e-7
+
+
+@given(
+    st.integers(min_value=8, max_value=24),
+    st.integers(min_value=1, max_value=3),
+    st.lists(finite, min_size=30, max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_extractor_matches_batch(n, k, values):
+    if k >= n:
+        return
+    fx = IncrementalFeatureExtractor(n, k, mode="z", refresh_every=10_000)
+    data = np.asarray(values)
+    for t, v in enumerate(data):
+        got = fx.push(v)
+        if got is not None:
+            want = extract_feature_vector(data[t - n + 1 : t + 1], k, mode="z")
+            # running-moment variance loses a few digits when |x| ~ 1e4
+            # (catastrophic cancellation in sumsq/n - mu^2); the refresh
+            # mechanism bounds this in production
+            assert np.allclose(got, want, atol=1e-4, rtol=1e-4)
+
+
+@given(windows(min_size=8, max_size=32), st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_truncated_prefix_of_full(x, k):
+    if k > len(x):
+        return
+    assert np.allclose(truncated_dft(x, k), unitary_dft(x)[:k])

@@ -1,0 +1,89 @@
+"""Property-based tests for the cluster hierarchy structure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import ClusterHierarchy
+
+sizes = st.integers(min_value=1, max_value=200)
+csizes = st.integers(min_value=2, max_value=8)
+
+
+@given(sizes, csizes)
+@settings(max_examples=100, deadline=None)
+def test_every_node_in_exactly_one_bottom_cluster(n, c):
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    if h.depth == 0:
+        assert n == 1
+        return
+    seen = []
+    for cluster in h.levels[0]:
+        seen.extend(cluster.members)
+    assert sorted(seen) == list(range(n))
+
+
+@given(sizes, csizes)
+@settings(max_examples=100, deadline=None)
+def test_level_coverage_partitions_positions(n, c):
+    """At every level, cluster position spans tile [0, n) exactly."""
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    for clusters in h.levels:
+        spans = sorted((cl.lo_idx, cl.hi_idx) for cl in clusters)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == n
+        for (lo1, hi1), (lo2, _hi2) in zip(spans, spans[1:]):
+            assert hi1 == lo2  # contiguous, non-overlapping
+
+
+@given(sizes, csizes)
+@settings(max_examples=100, deadline=None)
+def test_depth_is_logarithmic(n, c):
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    if n == 1:
+        assert h.depth == 0
+    else:
+        assert h.depth <= int(np.ceil(np.log(n) / np.log(c))) + 1
+
+
+@given(sizes, csizes, st.integers(min_value=0, max_value=199))
+@settings(max_examples=100, deadline=None)
+def test_leader_chain_terminates_at_root(n, c, node):
+    if node >= n:
+        return
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    chain = h.leader_chain(node)
+    assert chain[-1] == h.root
+    assert len(chain) <= h.depth + 1
+
+
+@given(sizes, csizes, st.data())
+@settings(max_examples=100, deadline=None)
+def test_covering_chain_final_leader_covers_range(n, c, data):
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    start = data.draw(st.integers(min_value=0, max_value=n - 1))
+    lo = data.draw(st.integers(min_value=0, max_value=n - 1))
+    hi = data.draw(st.integers(min_value=lo + 1, max_value=n))
+    chain = h.covering_chain(start, lo, hi)
+    final = chain[-1] if chain else start
+    # the answering node must cover [lo, hi): either with its own
+    # position alone, or with some cluster it leads, or by being root
+    pos = h.position[final]
+    covers_alone = lo >= pos and hi <= pos + 1
+    covers_as_leader = any(
+        (cl := h.cluster_of(final, level)) is not None
+        and cl.leader == final
+        and cl.lo_idx <= lo
+        and cl.hi_idx >= hi
+        for level in range(h.depth)
+    )
+    assert covers_alone or covers_as_leader or final == h.root
+
+
+@given(sizes, csizes)
+@settings(max_examples=60, deadline=None)
+def test_leaders_are_members_of_their_cluster(n, c):
+    h = ClusterHierarchy(list(range(n)), cluster_size=c)
+    for clusters in h.levels:
+        for cluster in clusters:
+            assert cluster.leader in cluster.members

@@ -1,0 +1,111 @@
+"""Property-based tests for MBRs, the mapper, and no-false-dismissal."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.chord import IdSpace
+from repro.core import MBR, MBRBatcher, LinearKeyMapper
+from repro.core.adaptive import AdaptiveMBRBatcher
+
+coord = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+features = arrays(np.float64, 4, elements=coord)
+
+
+@given(st.lists(features, min_size=1, max_size=20))
+@settings(max_examples=80, deadline=None)
+def test_mbr_contains_every_absorbed_point(points):
+    m = MBR.of_point(points[0])
+    for p in points[1:]:
+        m.extend(p)
+    for p in points:
+        assert m.contains(p)
+        assert m.mindist(p) == 0.0
+
+
+@given(st.lists(features, min_size=1, max_size=20), features)
+@settings(max_examples=80, deadline=None)
+def test_mindist_lower_bounds_all_points(points, q):
+    m = MBR.of_point(points[0])
+    for p in points[1:]:
+        m.extend(p)
+    dmin = m.mindist(q)
+    for p in points:
+        assert dmin <= np.linalg.norm(q - p) + 1e-9
+
+
+@given(st.lists(features, min_size=1, max_size=30), st.integers(min_value=1, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_batcher_never_loses_vectors(points, w):
+    b = MBRBatcher("s", w)
+    total = 0
+    for p in points:
+        m = b.add(p)
+        if m is not None:
+            total += m.count
+            assert m.count == w
+    tail = b.flush()
+    if tail is not None:
+        total += tail.count
+    assert total == len(points)
+
+
+@given(
+    st.lists(features, min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=7),
+    st.floats(min_value=0.01, max_value=0.5),
+)
+@settings(max_examples=60, deadline=None)
+def test_adaptive_batcher_never_loses_vectors_and_respects_width(points, w, width):
+    b = AdaptiveMBRBatcher("s", w, width_limit=width)
+    total = 0
+    for p in points:
+        m = b.add(p)
+        if m is not None:
+            total += m.count
+            assert m.high[0] - m.low[0] <= width + 1e-12
+    tail = b.flush()
+    if tail is not None:
+        total += tail.count
+    assert total == len(points)
+
+
+@given(coord, coord)
+@settings(max_examples=120, deadline=None)
+def test_mapper_monotone_pairwise(a, b):
+    mapper = LinearKeyMapper(IdSpace(20))
+    if a <= b:
+        assert mapper.key_of(a) <= mapper.key_of(b)
+    else:
+        assert mapper.key_of(a) >= mapper.key_of(b)
+
+
+@given(coord, st.floats(min_value=0.001, max_value=1.0))
+@settings(max_examples=120, deadline=None)
+def test_query_interval_contains_center_key(center, radius):
+    """The key range of [v-r, v+r] always contains key(v) — queries are
+    always routed to a range covering their own summary's key."""
+    mapper = LinearKeyMapper(IdSpace(20))
+    lo, hi = mapper.key_range(max(-1.0, center - radius), min(1.0, center + radius))
+    assert lo <= mapper.key_of(center) <= hi
+
+
+@given(st.lists(features, min_size=2, max_size=20), features, st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_no_false_dismissals_through_batching(points, q, radius):
+    """If any absorbed feature vector is within `radius` of the query,
+    the MBR containing it must be reported as a candidate."""
+    b = MBRBatcher("s", 5)
+    boxes = []
+    for p in points:
+        m = b.add(p)
+        if m is not None:
+            boxes.append(m)
+    tail = b.flush()
+    if tail is not None:
+        boxes.append(tail)
+    true_match = any(np.linalg.norm(q - p) <= radius for p in points)
+    candidate = any(box.intersects_ball(q, radius) for box in boxes)
+    if true_match:
+        assert candidate

@@ -1,0 +1,72 @@
+"""Property-based tests of range multicast over random rings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord import ChordNode, ChordRing, DhtOverlay
+from repro.core import RangeMulticast
+from repro.sim import Network, Simulator
+
+
+class SpanApp:
+    def __init__(self, holder):
+        self.holder = holder
+        self.deliveries = 0
+
+    def deliver(self, node, message):
+        self.deliveries += 1
+        self.holder["mc"].continue_span(
+            node,
+            message,
+            low_key=self.holder["low"],
+            high_key=self.holder["high"],
+            span_kind="span",
+        )
+
+
+def run_multicast(ids, low, high, strategy, start_idx):
+    sim = Simulator()
+    net = Network(sim)
+    ring = ChordRing(m=10)
+    for nid in ids:
+        ring.add(ChordNode(f"n{nid}", nid, ring.space))
+    ring.build()
+    overlay = DhtOverlay(ring, net)
+    holder = {"low": low, "high": high}
+    mc = RangeMulticast(overlay, strategy)
+    holder["mc"] = mc
+    apps = {}
+    for node in ring:
+        app = SpanApp(holder)
+        apps[node.node_id] = app
+        overlay.register_app(node, app)
+    start = ring.node(ring.node_ids[start_idx % len(ids)])
+    mc.disseminate(
+        start, "p", kind="orig", transit_kind="t", low_key=low, high_key=high
+    )
+    sim.run()
+    delivered = {nid for nid, app in apps.items() if app.deliveries}
+    counts = [app.deliveries for app in apps.values()]
+    return ring, delivered, counts
+
+
+node_sets = st.sets(st.integers(min_value=0, max_value=1023), min_size=2, max_size=25)
+
+
+@given(
+    node_sets,
+    st.integers(min_value=0, max_value=1023),
+    st.integers(min_value=0, max_value=1023),
+    st.sampled_from(["sequential", "bidirectional"]),
+    st.integers(min_value=0, max_value=24),
+)
+@settings(max_examples=120, deadline=None)
+def test_multicast_covers_exactly_the_ground_truth_set(
+    ids, low, high, strategy, start_idx
+):
+    """For ANY ring, range and strategy: the delivered set equals the
+    ground-truth covering set, and nobody is delivered twice."""
+    ring, delivered, counts = run_multicast(ids, low, high, strategy, start_idx)
+    want = {n.node_id for n in ring.nodes_covering_range(low, high)}
+    assert delivered == want
+    assert all(c <= 1 for c in counts)

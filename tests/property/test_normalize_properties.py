@@ -1,0 +1,102 @@
+"""Property-based tests for normalization and similarity semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.streams import (
+    correlation_to_distance,
+    distance_to_correlation,
+    pearson,
+    unit_normalize,
+    z_normalize,
+)
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+def windows(min_size=4, max_size=48):
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite)
+    )
+
+
+@given(
+    windows(),
+    st.floats(min_value=0.01, max_value=100.0),
+    st.floats(min_value=-50.0, max_value=50.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_z_normalization_affine_invariant(x, a, b):
+    """z(ax + b) == z(x) for a > 0 — the scale/offset freedom that makes
+    correlation queries meaningful across differently calibrated streams.
+
+    Windows whose relative spread sits at the degeneracy threshold
+    (sigma ~ eps) may normalize to zero on one side of the scaling and
+    not the other; those carry no shape information and are excluded.
+    """
+    if np.std(x) < 1e-6 * (1.0 + np.abs(x).max()):
+        return
+    assert np.allclose(z_normalize(a * x + b), z_normalize(x), atol=1e-6)
+
+
+@given(windows(), st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_unit_normalization_scale_invariant(x, a):
+    assert np.allclose(unit_normalize(a * x), unit_normalize(x), atol=1e-9)
+
+
+@given(windows())
+@settings(max_examples=100, deadline=None)
+def test_z_negation_flips_sign(x):
+    zx = z_normalize(x)
+    zneg = z_normalize(-x)
+    assert np.allclose(zneg, -zx, atol=1e-9)
+
+
+@given(windows(min_size=3))
+@settings(max_examples=100, deadline=None)
+def test_pearson_in_range(x):
+    rng = np.random.default_rng(0)
+    y = x + rng.normal(size=len(x))
+    r = pearson(x, y)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+@given(windows(min_size=3))
+@settings(max_examples=100, deadline=None)
+def test_pearson_self_is_one_or_zero(x):
+    r = pearson(x, x)
+    # constant windows give 0 (zero variance convention), others 1
+    assert np.isclose(r, 1.0) or np.isclose(r, 0.0)
+
+
+@given(st.floats(min_value=-1.0, max_value=1.0))
+@settings(max_examples=120, deadline=None)
+def test_correlation_distance_bijection_on_valid_range(corr):
+    d = correlation_to_distance(corr)
+    assert 0.0 <= d <= 2.0
+    assert np.isclose(distance_to_correlation(d), corr, atol=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=120, deadline=None)
+def test_distance_correlation_monotone(d):
+    """Larger distance always means smaller correlation."""
+    eps = 0.01
+    if d + eps <= 2.0:
+        assert distance_to_correlation(d + eps) < distance_to_correlation(d)
+
+
+@given(windows(min_size=4))
+@settings(max_examples=80, deadline=None)
+def test_statstream_identity(x):
+    """corr(x, y) == 1 - d(zx, zy)^2 / 2 whenever both have variance."""
+    rng = np.random.default_rng(1)
+    y = x * 0.5 + rng.normal(size=len(x))
+    zx, zy = z_normalize(x), z_normalize(y)
+    if not zx.any() or not zy.any():
+        return
+    d2 = float(np.dot(zx - zy, zx - zy))
+    assert np.isclose(pearson(x, y), 1.0 - d2 / 2.0, atol=1e-7)

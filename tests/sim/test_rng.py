@@ -1,0 +1,46 @@
+"""Unit tests for deterministic RNG substreams."""
+
+from repro.sim import RngRegistry
+
+
+def test_same_name_same_generator_object():
+    rngs = RngRegistry(seed=1)
+    assert rngs.get("a") is rngs.get("a")
+
+
+def test_reproducible_across_registries():
+    a = RngRegistry(seed=42).get("streams").random(5)
+    b = RngRegistry(seed=42).get("streams").random(5)
+    assert (a == b).all()
+
+
+def test_different_names_independent():
+    rngs = RngRegistry(seed=42)
+    a = rngs.get("streams").random(5)
+    b = rngs.get("queries").random(5)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).get("x").random(5)
+    b = RngRegistry(seed=2).get("x").random(5)
+    assert not (a == b).all()
+
+
+def test_fork_matches_named_stream():
+    rngs1 = RngRegistry(seed=9)
+    rngs2 = RngRegistry(seed=9)
+    a = rngs1.fork("stream", 3).random(4)
+    b = rngs2.get("stream/3").random(4)
+    assert (a == b).all()
+
+
+def test_fork_indices_independent():
+    rngs = RngRegistry(seed=9)
+    a = rngs.fork("s", 0).random(4)
+    b = rngs.fork("s", 1).random(4)
+    assert not (a == b).all()
+
+
+def test_seed_property():
+    assert RngRegistry(seed=17).seed == 17

@@ -1,0 +1,135 @@
+"""Tests for the optional message tracer."""
+
+import pytest
+
+from repro.chord import ChordNode, ChordRing, DhtOverlay
+from repro.sim import Message, MessageTracer, Network, Simulator
+
+
+def traced_overlay():
+    sim = Simulator()
+    tracer = MessageTracer()
+    net = Network(sim, tracer=tracer)
+    ring = ChordRing(m=5)
+    for nid in (1, 8, 11, 14, 20, 23):
+        ring.add(ChordNode(f"n{nid}", nid, ring.space))
+    ring.build()
+    overlay = DhtOverlay(ring, net)
+
+    class App:
+        def deliver(self, node, message):
+            pass
+
+    for node in ring:
+        overlay.register_app(node, App())
+    return sim, tracer, net, ring, overlay
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MessageTracer(capacity=0)
+
+
+def test_send_events_recorded_in_order():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    msg = Message(kind="mbr", payload=None, origin=8, dest_key=26)
+    overlay.route(ring.node(8), msg, transit_kind="mbr_transit")
+    sim.run()
+    sends = tracer.events(event="send")
+    assert [(e.src, e.dst) for e in sends] == [(8, 20), (20, 23), (23, 1)]
+    assert [e.kind for e in sends] == ["mbr", "mbr_transit", "mbr_transit"]
+    times = [e.time for e in sends]
+    assert times == sorted(times)
+
+
+def test_delivery_recorded():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    msg = Message(kind="query", payload=None, origin=8, dest_key=13)
+    overlay.route(ring.node(8), msg, transit_kind="query_transit")
+    sim.run()
+    delivered = tracer.events(event="deliver")
+    assert len(delivered) == 1
+    assert delivered[0].dst == 14
+    assert delivered[0].kind == "query"
+
+
+def test_kind_filter_at_record_time():
+    sim = Simulator()
+    tracer = MessageTracer(kinds={"mbr"})
+    net = Network(sim, tracer=tracer)
+    net.hop(1, 2, Message(kind="mbr", payload=None, origin=1, dest_key=0), lambda m: None)
+    net.hop(1, 2, Message(kind="query", payload=None, origin=1, dest_key=0), lambda m: None)
+    sim.run()
+    assert len(tracer) == 1
+    assert tracer.dropped == 1
+
+
+def test_event_filters():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    m1 = Message(kind="mbr", payload=None, origin=8, dest_key=26)
+    overlay.route(ring.node(8), m1, transit_kind="mbr_transit")
+    sim.run()
+    assert len(tracer.events(kind="mbr")) == 2  # first send + delivery
+    assert len(tracer.events(node=20)) == 2  # received-from and sent-to
+    assert tracer.events(kind="nothing") == []
+
+
+def test_journey_groups_by_root():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    a = Message(kind="mbr", payload=None, origin=8, dest_key=26)
+    b = Message(kind="mbr", payload=None, origin=1, dest_key=13)
+    overlay.route(ring.node(8), a, transit_kind="mbr_transit")
+    overlay.route(ring.node(1), b, transit_kind="mbr_transit")
+    sim.run()
+    ja = tracer.journey(a.root_id)
+    jb = tracer.journey(b.root_id)
+    assert ja and jb
+    assert not {e.msg_id for e in ja} & {e.msg_id for e in jb}
+
+
+def test_journey_includes_derived_spans():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    msg = Message(kind="mbr", payload=None, origin=8, dest_key=26)
+    overlay.route(ring.node(8), msg, transit_kind="mbr_transit")
+    sim.run()
+    span = msg.derive("mbr_span")
+    overlay.send_direct(ring.node(1), ring.node(8), span)
+    sim.run()
+    journey = tracer.journey(msg.root_id)
+    assert any(e.kind == "mbr_span" for e in journey)
+
+
+def test_format_journey_readable():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    msg = Message(kind="mbr", payload=None, origin=8, dest_key=26)
+    overlay.route(ring.node(8), msg, transit_kind="mbr_transit")
+    sim.run()
+    text = tracer.format_journey(msg.root_id)
+    assert "N8 -> N20" in text
+    assert "delivered at N1" in text
+
+
+def test_capacity_eviction():
+    sim = Simulator()
+    tracer = MessageTracer(capacity=3)
+    net = Network(sim, tracer=tracer)
+    for i in range(5):
+        net.hop(i, i + 1, Message(kind="x", payload=None, origin=i, dest_key=0), lambda m: None)
+    sim.run()
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert tracer.events()[0].src == 2  # oldest two evicted
+
+
+def test_clear():
+    sim, tracer, net, ring, overlay = traced_overlay()
+    overlay.route(
+        ring.node(8),
+        Message(kind="mbr", payload=None, origin=8, dest_key=26),
+        transit_kind="t",
+    )
+    sim.run()
+    assert len(tracer) > 0
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0

@@ -1,0 +1,75 @@
+"""Additional dataset/extractor tests: defensive copies, raw coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    IncrementalFeatureExtractor,
+    StockDataset,
+    reconstruct_from_coefficients,
+    synthetic_sp500,
+    truncated_dft,
+)
+
+
+def test_closes_returns_copy():
+    ds = synthetic_sp500(n_stocks=2, n_days=10, seed=0)
+    t = ds.tickers[0]
+    closes = ds.closes(t)
+    closes[0] = -1.0
+    assert ds.closes(t)[0] != -1.0
+
+
+def test_stock_dataset_len_and_tickers_sorted():
+    ds = synthetic_sp500(n_stocks=5, n_days=5, seed=1)
+    assert len(ds) == 5
+    assert ds.tickers == sorted(ds.tickers)
+
+
+def test_stock_dataset_direct_construction():
+    rec = np.zeros(3, dtype=[("date", "i4"), ("open", "f8"), ("high", "f8"),
+                             ("low", "f8"), ("close", "f8"), ("volume", "i8")])
+    ds = StockDataset(records={"AAA": rec})
+    assert ds.tickers == ["AAA"]
+
+
+def test_raw_coefficients_before_full_raises():
+    fx = IncrementalFeatureExtractor(8, 2)
+    fx.push(1.0)
+    with pytest.raises(RuntimeError):
+        fx.raw_coefficients()
+
+
+def test_raw_coefficients_match_batch_dft():
+    rng = np.random.default_rng(3)
+    n, k = 16, 3
+    data = rng.normal(size=40)
+    fx = IncrementalFeatureExtractor(n, k)
+    for v in data:
+        fx.push(v)
+    raw = fx.raw_coefficients()
+    want = truncated_dft(data[-n:], k + 1)
+    assert np.allclose(raw, want, atol=1e-9)
+
+
+def test_raw_coefficients_reconstruct_window():
+    """The Eq. 7 pipeline end to end at the extractor level: a smooth
+    window reconstructs accurately from the raw coefficients."""
+    n, k = 32, 3
+    t = np.arange(200, dtype=np.float64)
+    data = 10.0 + 2.0 * np.sin(2 * np.pi * t / n) + 1.0 * np.cos(2 * np.pi * 2 * t / n)
+    fx = IncrementalFeatureExtractor(n, k)
+    for v in data:
+        fx.push(v)
+    approx = reconstruct_from_coefficients(fx.raw_coefficients(), n)
+    window = fx.window.values()
+    assert np.allclose(approx, window, atol=1e-9)
+
+
+def test_raw_coefficients_are_a_copy():
+    fx = IncrementalFeatureExtractor(8, 2)
+    for v in range(10):
+        fx.push(float(v))
+    raw = fx.raw_coefficients()
+    raw[0] = 999.0
+    assert fx.raw_coefficients()[0] != 999.0

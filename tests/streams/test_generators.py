@@ -1,0 +1,170 @@
+"""Unit tests for synthetic stream generators and dataset facades."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    HostLoadGenerator,
+    RandomWalkGenerator,
+    StockGenerator,
+    synthetic_host_load,
+    synthetic_sp500,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------- random walk
+def test_random_walk_stays_in_bounds():
+    g = RandomWalkGenerator(rng(), step=5.0, low=0.0, high=10.0)
+    vals = g.series(5000)
+    assert vals.min() >= 0.0
+    assert vals.max() <= 10.0
+
+
+def test_random_walk_streaming_matches_bounds():
+    g = RandomWalkGenerator(rng(1), step=2.0, low=-1.0, high=1.0)
+    for _ in range(2000):
+        v = g.next_value()
+        assert -1.0 <= v <= 1.0
+
+
+def test_random_walk_default_start_is_midpoint():
+    g = RandomWalkGenerator(rng(), low=10.0, high=20.0)
+    assert g.value == 15.0
+
+
+def test_random_walk_custom_start():
+    g = RandomWalkGenerator(rng(), low=0.0, high=10.0, start=2.0)
+    assert g.value == 2.0
+
+
+def test_random_walk_invalid_range():
+    with pytest.raises(ValueError):
+        RandomWalkGenerator(rng(), low=5.0, high=5.0)
+
+
+def test_random_walk_deterministic():
+    a = RandomWalkGenerator(rng(7)).series(100)
+    b = RandomWalkGenerator(rng(7)).series(100)
+    assert (a == b).all()
+
+
+def test_random_walk_is_autocorrelated():
+    """Consecutive values differ by at most `step` — the temporal
+    locality that stream summaries exploit."""
+    g = RandomWalkGenerator(rng(2), step=1.0, low=0.0, high=100.0)
+    vals = g.series(1000)
+    diffs = np.abs(np.diff(vals))
+    assert diffs.max() <= 1.0 + 1e-12
+
+
+# ---------------------------------------------------------------- stocks
+def test_stock_prices_positive():
+    g = StockGenerator(rng(3))
+    assert (g.series(500) > 0).all()
+
+
+def test_stock_shared_market_correlates_tickers():
+    market = rng(10).normal(0, 0.02, size=400)
+    a = StockGenerator(rng(4), beta=1.0, sigma_idio=0.002).series(400, market)
+    b = StockGenerator(rng(5), beta=1.0, sigma_idio=0.002).series(400, market)
+    ra = np.diff(np.log(a))
+    rb = np.diff(np.log(b))
+    corr = np.corrcoef(ra, rb)[0, 1]
+    assert corr > 0.9
+
+
+def test_stock_market_returns_length_check():
+    g = StockGenerator(rng(6))
+    with pytest.raises(ValueError):
+        g.series(10, market_returns=np.zeros(5))
+
+
+def test_stock_next_value_advances_price():
+    g = StockGenerator(rng(7), start_price=50.0)
+    p1 = g.next_value()
+    assert p1 == g.price
+    p2 = g.next_value(market_return=0.0)
+    assert p2 > 0
+
+
+# ---------------------------------------------------------------- host load
+def test_host_load_non_negative():
+    g = HostLoadGenerator(rng(8))
+    assert (g.series(3000) >= 0).all()
+
+
+def test_host_load_phi_validation():
+    with pytest.raises(ValueError):
+        HostLoadGenerator(rng(), phi=1.0)
+
+
+def test_host_load_strong_autocorrelation():
+    """The property Fig. 3(b) relies on: lag-1 autocorrelation near 1."""
+    g = HostLoadGenerator(rng(9), burst_prob=0.0)
+    x = g.series(4000)
+    x = x - x.mean()
+    ac1 = np.dot(x[:-1], x[1:]) / np.dot(x, x)
+    assert ac1 > 0.9
+
+
+# ---------------------------------------------------------------- datasets
+def test_synthetic_sp500_shape():
+    ds = synthetic_sp500(n_stocks=10, n_days=50, seed=1)
+    assert len(ds) == 10
+    assert len(ds.tickers) == 10
+    rec = ds.records[ds.tickers[0]]
+    assert set(rec.dtype.names) == {"date", "open", "high", "low", "close", "volume"}
+    assert rec.shape == (50,)
+
+
+def test_synthetic_sp500_ohlc_invariants():
+    ds = synthetic_sp500(n_stocks=5, n_days=100, seed=2)
+    for t in ds.tickers:
+        rec = ds.records[t]
+        assert (rec["high"] >= rec["close"]).all()
+        assert (rec["high"] >= rec["open"]).all()
+        assert (rec["low"] <= rec["close"]).all()
+        assert (rec["low"] > 0).all()
+        assert (rec["volume"] > 0).all()
+
+
+def test_synthetic_sp500_deterministic():
+    a = synthetic_sp500(n_stocks=3, n_days=20, seed=5)
+    b = synthetic_sp500(n_stocks=3, n_days=20, seed=5)
+    t = a.tickers[0]
+    assert (a.closes(t) == b.closes(t)).all()
+
+
+def test_synthetic_sp500_sector_correlation_structure():
+    ds = synthetic_sp500(n_stocks=16, n_days=500, seed=3, n_sectors=2)
+    def returns(t):
+        return np.diff(np.log(ds.closes(t)))
+    # sector-mates share a sector factor: strong correlation
+    same = np.corrcoef(returns("TCK001"), returns("TCK003"))[0, 1]
+    assert same > 0.6
+    # cross-sector pairs only share the weak market factor
+    cross = np.corrcoef(returns("TCK000"), returns("TCK001"))[0, 1]
+    assert cross < same - 0.2
+
+
+def test_synthetic_sp500_validation():
+    with pytest.raises(ValueError):
+        synthetic_sp500(n_stocks=0)
+
+
+def test_synthetic_host_load_shape():
+    traces = synthetic_host_load(n_hosts=4, length=100, seed=0)
+    assert len(traces) == 4
+    for name, arr in traces.items():
+        assert arr.shape == (100,)
+        assert (arr >= 0).all()
+        assert name.endswith(".cs.cmu.edu")
+
+
+def test_synthetic_host_load_validation():
+    with pytest.raises(ValueError):
+        synthetic_host_load(n_hosts=0)

@@ -1,0 +1,94 @@
+"""Unit tests for the sliding-window stream model."""
+
+import numpy as np
+import pytest
+
+from repro.streams import DataStream, SlidingWindow
+
+
+def test_window_size_validation():
+    with pytest.raises(ValueError):
+        SlidingWindow(0)
+    with pytest.raises(ValueError):
+        SlidingWindow(-3)
+
+
+def test_empty_window():
+    w = SlidingWindow(4)
+    assert len(w) == 0
+    assert not w.full
+    assert w.values().size == 0
+    with pytest.raises(IndexError):
+        w.newest()
+
+
+def test_partial_fill_preserves_order():
+    w = SlidingWindow(4)
+    w.append(1.0)
+    w.append(2.0)
+    assert len(w) == 2
+    assert not w.full
+    assert w.values().tolist() == [1.0, 2.0]
+
+
+def test_append_returns_evicted_when_full():
+    w = SlidingWindow(3)
+    assert w.append(1.0) is None
+    assert w.append(2.0) is None
+    assert w.append(3.0) is None
+    assert w.full
+    assert w.append(4.0) == 1.0
+    assert w.append(5.0) == 2.0
+
+
+def test_values_oldest_first_after_wrap():
+    w = SlidingWindow(3)
+    for v in [1, 2, 3, 4, 5]:
+        w.append(float(v))
+    assert w.values().tolist() == [3.0, 4.0, 5.0]
+
+
+def test_values_returns_copy():
+    w = SlidingWindow(3)
+    w.extend([1.0, 2.0, 3.0])
+    arr = w.values()
+    arr[0] = 99.0
+    assert w.values()[0] == 1.0
+
+
+def test_newest():
+    w = SlidingWindow(3)
+    for v in [1, 2, 3, 4]:
+        w.append(float(v))
+        assert w.newest() == float(v)
+
+
+def test_total_appended():
+    w = SlidingWindow(2)
+    w.extend([1.0, 2.0, 3.0])
+    assert w.total_appended == 3
+    assert len(w) == 2
+
+
+def test_long_rotation_consistency():
+    w = SlidingWindow(7)
+    data = np.arange(100, dtype=np.float64)
+    for v in data:
+        w.append(v)
+    assert w.values().tolist() == data[-7:].tolist()
+
+
+def test_datastream_ingest():
+    s = DataStream("s1", window_size=3)
+    p0 = s.ingest(5.0, time=10.0)
+    assert p0.stream_id == "s1"
+    assert p0.seq == 0
+    assert p0.time == 10.0
+    assert p0.value == 5.0
+    assert not s.ready
+    s.ingest(6.0, time=11.0)
+    p2 = s.ingest(7.0, time=12.0)
+    assert p2.seq == 2
+    assert s.ready
+    assert s.last_time == 12.0
+    assert s.window.values().tolist() == [5.0, 6.0, 7.0]

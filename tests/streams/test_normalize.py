@@ -1,0 +1,96 @@
+"""Unit tests for normalizations and similarity semantics."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    correlation_to_distance,
+    distance_to_correlation,
+    euclidean,
+    pearson,
+    unit_normalize,
+    z_normalize,
+)
+
+
+def test_z_normalize_unit_norm_and_zero_mean():
+    rng = np.random.default_rng(0)
+    x = rng.normal(3.0, 2.5, size=50)
+    z = z_normalize(x)
+    assert np.isclose(np.linalg.norm(z), 1.0)
+    assert np.isclose(z.mean(), 0.0, atol=1e-12)
+
+
+def test_z_normalize_constant_window_maps_to_zero():
+    z = z_normalize(np.full(10, 7.0))
+    assert (z == 0).all()
+
+
+def test_z_normalize_scale_and_shift_invariant():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=32)
+    assert np.allclose(z_normalize(x), z_normalize(5.0 * x + 3.0))
+
+
+def test_z_normalize_empty_raises():
+    with pytest.raises(ValueError):
+        z_normalize(np.array([]))
+
+
+def test_unit_normalize_unit_norm():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=20)
+    assert np.isclose(np.linalg.norm(unit_normalize(x)), 1.0)
+
+
+def test_unit_normalize_direction_preserved():
+    x = np.array([3.0, 4.0])
+    u = unit_normalize(x)
+    assert np.allclose(u, [0.6, 0.8])
+
+
+def test_unit_normalize_zero_vector():
+    assert (unit_normalize(np.zeros(5)) == 0).all()
+
+
+def test_unit_normalize_empty_raises():
+    with pytest.raises(ValueError):
+        unit_normalize(np.array([]))
+
+
+def test_euclidean_basic():
+    assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+
+def test_euclidean_shape_mismatch():
+    with pytest.raises(ValueError):
+        euclidean(np.zeros(3), np.zeros(4))
+
+
+def test_pearson_perfectly_correlated():
+    x = np.arange(20.0)
+    assert np.isclose(pearson(x, 2.0 * x + 5.0), 1.0)
+
+
+def test_pearson_anticorrelated():
+    x = np.arange(20.0)
+    assert np.isclose(pearson(x, -x), -1.0)
+
+
+def test_correlation_distance_roundtrip():
+    for corr in (-1.0, -0.3, 0.0, 0.5, 0.9, 1.0):
+        assert np.isclose(distance_to_correlation(correlation_to_distance(corr)), corr)
+
+
+def test_correlation_distance_link():
+    """corr = 1 - d²/2 between z-normalized windows (StatStream identity)."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=64)
+    y = x + 0.3 * rng.normal(size=64)
+    d = euclidean(z_normalize(x), z_normalize(y))
+    assert np.isclose(pearson(x, y), 1.0 - d * d / 2.0)
+
+
+def test_correlation_one_means_distance_zero():
+    assert correlation_to_distance(1.0) == 0.0
+    assert np.isclose(correlation_to_distance(-1.0), 2.0)

@@ -1,0 +1,53 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_headline_exports():
+    for name in (
+        "StreamIndexSystem",
+        "SimilarityQuery",
+        "InnerProductQuery",
+        "MiddlewareConfig",
+        "WorkloadConfig",
+        "TABLE_I",
+        "correlation_query",
+        "point_query",
+        "range_query",
+    ):
+        assert hasattr(repro, name), name
+        assert name in repro.__all__
+
+
+def test_subpackages_importable():
+    import repro.baselines
+    import repro.bench
+    import repro.chord
+    import repro.cli
+    import repro.core
+    import repro.sim
+    import repro.streams
+    import repro.workload
+
+    assert repro.cli.main is not None
+
+
+def test_readme_quickstart_runs():
+    """The literal README quickstart snippet must work."""
+    from repro.core import SimilarityQuery, StreamIndexSystem
+
+    system = StreamIndexSystem(n_nodes=20, seed=7)
+    system.attach_random_walk_streams()
+    system.warmup()
+
+    client = system.app(0)
+    pattern = system.app(3).sources["stream-3"].extractor.window.values()
+    qid = client.post_similarity_query(
+        SimilarityQuery(pattern=pattern, radius=0.2, lifespan_ms=20_000.0)
+    )
+    system.run(15_000.0)
+    assert client.similarity_results[qid]

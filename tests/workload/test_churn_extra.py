@@ -1,0 +1,71 @@
+"""Edge-case churn workload tests."""
+
+from repro.core import MiddlewareConfig, StreamIndexSystem, WorkloadConfig
+from repro.workload import ChurnWorkload
+
+
+def make(n=8, seed=120):
+    cfg = MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=10_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=2_000.0,
+            qmax_ms=4_000.0,
+            nper_ms=500.0,
+        ),
+    )
+    system = StreamIndexSystem(n, cfg, seed=seed, with_stabilizer=True)
+    system.attach_random_walk_streams()
+    return system
+
+
+def test_join_without_stream_attachment():
+    system = make()
+    churn = ChurnWorkload(
+        system,
+        fail_rate_per_s=0.0,
+        join_rate_per_s=1.0,
+        attach_stream_on_join=False,
+    ).start()
+    system.run(6_000.0)
+    assert churn.joins >= 2
+    joiner_streams = [
+        sid for a in system.all_apps for sid in a.sources if sid.startswith("churn-")
+    ]
+    assert joiner_streams == []
+
+
+def test_zero_rates_do_nothing():
+    system = make(seed=121)
+    churn = ChurnWorkload(system, fail_rate_per_s=0.0, join_rate_per_s=0.0).start()
+    system.run(5_000.0)
+    assert churn.failures == 0 and churn.joins == 0
+
+
+def test_fail_only_shrinks_to_floor_and_stops():
+    system = make(n=10, seed=122)
+    churn = ChurnWorkload(
+        system, fail_rate_per_s=3.0, join_rate_per_s=0.0, min_nodes=6
+    ).start()
+    system.run(10_000.0)
+    assert system.n_nodes == 6
+    assert churn.failures == 4
+
+
+def test_ring_exact_after_heavy_churn_settles():
+    from repro.chord import find_successor
+
+    system = make(n=14, seed=123)
+    churn = ChurnWorkload(system, fail_rate_per_s=0.5, join_rate_per_s=0.5).start()
+    system.run(12_000.0)
+    churn.stop()
+    system.stabilizer.stabilize_until_converged()
+    for key in (0, 12345, system.ring.space.size // 2):
+        start = next(a for a in system.all_apps if a.node.alive).node
+        assert find_successor(start, key) is system.ring.successor_of_key(key)

@@ -1,0 +1,131 @@
+"""Tests for the churn workload generator."""
+
+import pytest
+
+from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
+from repro.workload import ChurnWorkload
+
+
+def cfg():
+    return MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=20_000.0,
+            qrate_per_s=0.0,
+            qmin_ms=5_000.0,
+            qmax_ms=10_000.0,
+            nper_ms=500.0,
+        ),
+    )
+
+
+def churn_system(n=16, seed=95):
+    system = StreamIndexSystem(n, cfg(), seed=seed, with_stabilizer=True)
+    system.attach_random_walk_streams()
+    system.warmup()
+    return system
+
+
+def test_requires_stabilizer():
+    system = StreamIndexSystem(4, cfg(), seed=96)
+    with pytest.raises(ValueError):
+        ChurnWorkload(system)
+
+
+def test_rate_validation():
+    system = churn_system(n=6)
+    with pytest.raises(ValueError):
+        ChurnWorkload(system, fail_rate_per_s=-1.0)
+    with pytest.raises(ValueError):
+        ChurnWorkload(system, min_nodes=1)
+
+
+def test_failures_and_joins_happen_at_roughly_configured_rates():
+    system = churn_system(n=20, seed=97)
+    churn = ChurnWorkload(system, fail_rate_per_s=0.5, join_rate_per_s=0.5).start()
+    system.run(30_000.0)
+    churn.stop()
+    # ~15 expected of each over 30 s; generous Poisson slack
+    assert 5 <= churn.failures <= 30
+    assert 5 <= churn.joins <= 30
+    # membership stayed roughly constant
+    assert 20 - 10 <= system.n_nodes <= 20 + 10
+
+
+def test_min_nodes_floor_respected():
+    system = churn_system(n=6, seed=98)
+    churn = ChurnWorkload(
+        system, fail_rate_per_s=5.0, join_rate_per_s=0.0, min_nodes=4
+    ).start()
+    system.run(10_000.0)
+    assert system.n_nodes >= 4
+
+
+def test_protected_nodes_never_fail():
+    system = churn_system(n=10, seed=99)
+    client = system.app(0)
+    churn = ChurnWorkload(
+        system,
+        fail_rate_per_s=2.0,
+        join_rate_per_s=2.0,
+        protect=[client.node_id],
+    ).start()
+    system.run(15_000.0)
+    assert client.node.alive
+
+
+def test_joiners_source_streams():
+    system = churn_system(n=8, seed=100)
+    churn = ChurnWorkload(system, fail_rate_per_s=0.0, join_rate_per_s=1.0).start()
+    system.run(8_000.0)
+    assert churn.joins >= 2
+    joiner_streams = [
+        sid
+        for a in system.all_apps
+        for sid in a.sources
+        if sid.startswith("churn-stream-")
+    ]
+    assert len(joiner_streams) == churn.joins
+
+
+def test_stop_halts_churn():
+    system = churn_system(n=10, seed=101)
+    churn = ChurnWorkload(system, fail_rate_per_s=2.0, join_rate_per_s=2.0).start()
+    system.run(3_000.0)
+    churn.stop()
+    f, j = churn.failures, churn.joins
+    system.run(5_000.0)
+    assert (churn.failures, churn.joins) == (f, j)
+
+
+def test_queries_keep_being_answered_under_sustained_churn():
+    """The paper's adaptivity claim, quantified: under continuous
+    crash/join churn with stabilization running, a query on a protected
+    donor keeps producing matches."""
+    system = churn_system(n=20, seed=102)
+    client = system.app(0)
+    donor_app = system.app(5)
+    donor = next(iter(donor_app.sources.values()))
+    churn = ChurnWorkload(
+        system,
+        fail_rate_per_s=0.2,
+        join_rate_per_s=0.2,
+        protect=[client.node_id, donor_app.node_id],
+    ).start()
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(), radius=0.4, lifespan_ms=30_000.0
+        )
+    )
+    system.run(25_000.0)
+    churn.stop()
+    assert churn.failures >= 2 and churn.joins >= 2
+    matches = client.similarity_results[qid]
+    assert matches, "query starved under churn"
+    # MBR flow never stopped either
+    assert system.network.stats.originations[KIND.MBR] > 0
