@@ -63,7 +63,7 @@ def run_to_csv(path: PathLike, run) -> Path:
         writer.writerow(["meta", "measured_ms", run.measured_ms])
         writer.writerow(["meta", "queries_posted", run.queries_posted])
         writer.writerow(["meta", "total_load", summary["total_load"]])
-        for section in ("load", "overhead", "hops", "latency_ms"):
+        for section in ("load", "overhead", "hops", "latency_ms", "reliability"):
             for metric, value in summary[section].items():
                 writer.writerow([section, metric, value])
     return path

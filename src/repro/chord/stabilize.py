@@ -138,9 +138,17 @@ class Stabilizer:
         """Chord's ``stabilize``: verify the successor, then notify it."""
         succ = node.first_live_successor()
         if succ is None:
-            node.successor = node
-            node.successor_list = []
-            return
+            # The whole successor list died at once (more simultaneous
+            # failures than successor_list_len - 1 covers).  Before
+            # declaring ourselves alone, scavenge any other live
+            # reference — fingers, predecessor — and rebuild from the
+            # nearest following one.
+            succ = self._emergency_successor(node)
+            if succ is None:
+                node.successor = node
+                node.successor_list = []
+                return
+            node.successor_list = [succ]
         node.successor = succ
         candidate = succ.predecessor
         if (
@@ -160,6 +168,40 @@ class Stabilizer:
             if len(fresh) >= self.successor_list_len:
                 break
         node.successor_list = fresh
+
+    @staticmethod
+    def _emergency_successor(node: ChordNode) -> Optional[ChordNode]:
+        """The nearest live node clockwise of ``node``, from any reference.
+
+        Scans the finger table and the predecessor pointer; returns the
+        live node with the smallest positive clockwise distance, or
+        ``None`` when the node holds no live reference at all (truly
+        isolated — a partition from this node's point of view).
+        """
+        best: Optional[ChordNode] = None
+        best_dist: Optional[int] = None
+        for cand in list(node.fingers) + [node.predecessor]:
+            if cand is None or not cand.alive or cand is node:
+                continue
+            dist = (cand.node_id - node.node_id) % node.space.size
+            if dist == 0:
+                continue
+            if best_dist is None or dist < best_dist:
+                best, best_dist = cand, dist
+        return best
+
+    def partitioned_nodes(self) -> List[ChordNode]:
+        """Live nodes with no route to the rest of the ring.
+
+        A node whose successor is itself while other live members exist
+        has lost every live reference; it can neither reach nor be
+        (deliberately) reached by the rest of the ring until a new join
+        or an external repair reconnects it.
+        """
+        nodes = list(self.ring)
+        if len(nodes) <= 1:
+            return []
+        return [node for node in nodes if node.successor is node]
 
     @staticmethod
     def _notify(succ: ChordNode, node: ChordNode) -> None:
@@ -200,6 +242,13 @@ class Stabilizer:
                 for node in self.ring:
                     self.fix_all_fingers(node)
                 return round_no
+        partitioned = self.partitioned_nodes()
+        if partitioned:
+            ids = sorted(n.node_id for n in partitioned)
+            raise RuntimeError(
+                f"ring partitioned after {max_rounds} rounds: "
+                f"nodes {ids} hold no live references"
+            )
         raise RuntimeError(f"stabilization did not converge in {max_rounds} rounds")
 
     def _is_converged(self) -> bool:

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     python -m repro hops --nodes 50 100
     python -m repro distribution --nodes 100
     python -m repro baselines --nodes 50
+    python -m repro lossy --nodes 50 --loss 0.05 --churn 0.1 --duration 20
 
 The experiment subcommands mirror the benchmark suite
 (``pytest benchmarks/ --benchmark-only``) but let you pick node counts
@@ -26,7 +27,7 @@ import numpy as np
 from . import __version__
 from .bench.harness import SweepCache
 from .bench.report import format_histogram, format_series, format_table
-from .core.config import TABLE_I, MiddlewareConfig
+from .core.config import TABLE_I, MiddlewareConfig, WorkloadConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
     base.add_argument("--nodes", type=int, default=50)
     base.add_argument("--measure", type=float, default=10.0)
     base.add_argument("--seed", type=int, default=0)
+
+    lossy = sub.add_parser(
+        "lossy",
+        help="lossy-network scenario: ack/retry delivery and soft-state "
+        "refresh under message loss, duplication and churn",
+    )
+    lossy.add_argument("--nodes", type=int, default=50)
+    lossy.add_argument("--loss", type=float, default=0.05, help="per-hop loss rate")
+    lossy.add_argument(
+        "--duplicate", type=float, default=0.01, help="per-hop duplication rate"
+    )
+    lossy.add_argument(
+        "--churn", type=float, default=0.1, help="fail AND join events/s (0 disables)"
+    )
+    lossy.add_argument("--radius", type=float, default=0.3)
+    lossy.add_argument("--duration", type=float, default=20.0, help="seconds")
+    lossy.add_argument(
+        "--refresh", type=float, default=2.0,
+        help="soft-state refresh period in seconds (0 disables healing)",
+    )
+    lossy.add_argument("--seed", type=int, default=7)
 
     rs = sub.add_parser("ring-stats", help="Chord ring diagnostics")
     rs.add_argument("--nodes", type=int, default=100)
@@ -263,6 +285,81 @@ def cmd_baselines(args, out) -> int:
     return 0
 
 
+def cmd_lossy(args, out) -> int:
+    from .core.queries import SimilarityQuery
+    from .core.system import StreamIndexSystem
+    from .workload import ChurnWorkload
+
+    config = MiddlewareConfig(
+        window_size=64,
+        batch_size=2,
+        reliable_delivery=True,
+        refresh_period_ms=args.refresh * 1000.0,
+        loss_rate=args.loss,
+        duplicate_rate=args.duplicate,
+        workload=WorkloadConfig(qrate_per_s=0.0),
+    )
+    system = StreamIndexSystem(
+        args.nodes, config, seed=args.seed, with_stabilizer=True
+    )
+    system.attach_random_walk_streams()
+    system.warmup()
+
+    client = system.app(0)
+    donor_app = system.app(min(4, args.nodes - 1))
+    donor = next(iter(donor_app.sources.values()))
+    churn = None
+    if args.churn > 0:
+        churn = ChurnWorkload(
+            system,
+            fail_rate_per_s=args.churn,
+            join_rate_per_s=args.churn,
+            protect=[client.node_id, donor_app.node_id],
+        ).start()
+
+    system.reset_stats()
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(),
+            radius=args.radius,
+            lifespan_ms=args.duration * 1000.0 + 5_000.0,
+        )
+    )
+    system.run(args.duration * 1000.0)
+    if churn is not None:
+        churn.stop()
+
+    stats = system.network.stats
+    matches = client.similarity_results[qid]
+    rows = [
+        ["availability (acked/attempted)", f"{stats.delivery_ratio():.4f}"],
+        [
+            "eventual delivery (settled sends)",
+            f"{system.eventual_delivery_ratio():.4f}",
+        ],
+        ["reliable sends", sum(stats.reliable_sends.values())],
+        ["retransmissions", sum(stats.retransmissions.values())],
+        ["dead letters", sum(stats.dead_letters.values())],
+        ["duplicates suppressed", sum(stats.duplicates_suppressed.values())],
+        ["matching streams", len(matches)],
+    ]
+    for reason, count in sorted(stats.drops_by_reason().items()):
+        rows.append([f"drops [{reason}]", count])
+    if churn is not None:
+        rows.append(["failures / joins", f"{churn.failures} / {churn.joins}"])
+    print(
+        format_table(
+            f"Lossy network (N={args.nodes}, loss={args.loss}, "
+            f"dup={args.duplicate}, churn={args.churn}/s, "
+            f"{args.duration:.0f}s)",
+            ["metric", "value"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
 def cmd_ring_stats(args, out) -> int:
     from .chord import ChordRing, RingAnalyzer
 
@@ -300,6 +397,7 @@ _COMMANDS = {
     "hops": cmd_hops,
     "distribution": cmd_distribution,
     "baselines": cmd_baselines,
+    "lossy": cmd_lossy,
     "ring-stats": cmd_ring_stats,
 }
 

@@ -22,7 +22,8 @@ from .metrics import (
 )
 from .middleware import AggregatorEntry, SourceState, StreamIndexNode
 from .multicast import RangeMulticast, middle_key
-from .protocol import KIND
+from .protocol import KIND, Ack, next_delivery_id
+from .reliable import ReliableSender
 from .queries import (
     InnerProductQuery,
     InnerProductResult,
@@ -54,6 +55,9 @@ __all__ = [
     "RangeMulticast",
     "middle_key",
     "KIND",
+    "Ack",
+    "next_delivery_id",
+    "ReliableSender",
     "InnerProductQuery",
     "InnerProductResult",
     "SimilarityMatch",

@@ -110,6 +110,28 @@ class MiddlewareConfig:
     hierarchy_cluster_size / hierarchy_margin:
         Bottom-cluster size and level-0 widening margin of the
         hierarchy's update-suppression scheme.
+    reliable_delivery:
+        Acknowledge critical control-plane messages (MBR publishes,
+        subscribes, registrations, window requests) and retransmit on
+        timeout.  Off by default: the paper's fabric is lossless, so
+        acks would only add traffic to the reproduced figures.
+    ack_timeout_ms:
+        Base retransmission timeout; doubled (``retry_backoff``) per
+        attempt with up to ``retry_jitter_ms`` of uniform jitter.
+    retry_max:
+        Retry budget; messages still unacknowledged after it land in
+        the dead-letter counter.
+    retry_backoff / retry_jitter_ms:
+        Exponential-backoff multiplier and jitter bound.
+    refresh_period_ms:
+        Soft-state healing period: sources periodically re-register
+        streams, re-publish their freshest unexpired MBR, and clients
+        re-disseminate live subscriptions.  0 disables refresh.
+    loss_rate / duplicate_rate / delay_jitter_ms:
+        Convenience fault knobs: when any is non-zero (and no explicit
+        :class:`~repro.sim.faults.FaultPlan` is given to the system) the
+        network drops / duplicates each hop with these probabilities and
+        jitters the hop delay by ``± delay_jitter_ms``.
     workload:
         The Table I parameters.
     """
@@ -131,6 +153,15 @@ class MiddlewareConfig:
     hierarchy_cluster_size: int = 4
     hierarchy_radius_threshold: float = 0.25
     hierarchy_margin: float = 0.02
+    reliable_delivery: bool = False
+    ack_timeout_ms: float = 400.0
+    retry_max: int = 5
+    retry_backoff: float = 2.0
+    retry_jitter_ms: float = 40.0
+    refresh_period_ms: float = 0.0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_jitter_ms: float = 0.0
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
     def __post_init__(self) -> None:
@@ -150,6 +181,22 @@ class MiddlewareConfig:
             raise ValueError("hierarchy_radius_threshold must be in (0, 2]")
         if self.hierarchy_margin < 0:
             raise ValueError("hierarchy_margin must be non-negative")
+        if self.ack_timeout_ms <= 0:
+            raise ValueError("ack_timeout_ms must be positive")
+        if self.retry_max < 0:
+            raise ValueError("retry_max must be non-negative")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.retry_jitter_ms < 0:
+            raise ValueError("retry_jitter_ms must be non-negative")
+        if self.refresh_period_ms < 0:
+            raise ValueError("refresh_period_ms must be non-negative")
+        for name, rate in (("loss_rate", self.loss_rate),
+                           ("duplicate_rate", self.duplicate_rate)):
+            if not (0.0 <= rate < 1.0):
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.delay_jitter_ms < 0:
+            raise ValueError("delay_jitter_ms must be non-negative")
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A modified copy (convenience over :func:`dataclasses.replace`)."""

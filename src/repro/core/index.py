@@ -108,7 +108,17 @@ class LocalIndex:
     # subscriptions
     # ------------------------------------------------------------------
     def add_similarity_sub(self, sub: SimilaritySubscribe, expires: float) -> None:
-        """Install (or refresh) a similarity subscription."""
+        """Install (or refresh) a similarity subscription.
+
+        A refresh keeps the ``reported`` bookkeeping (so soft-state
+        re-disseminations don't cause re-reports of known matches) and
+        never shortens the remaining lifetime.
+        """
+        cur = self.similarity_subs.get(sub.query_id)
+        if cur is not None:
+            cur.sub = sub
+            cur.expires = max(cur.expires, expires)
+            return
         self.similarity_subs[sub.query_id] = StoredSimilaritySub(sub, expires)
 
     def add_inner_product_sub(self, sub: InnerProductSubscribe, expires: float) -> None:

@@ -140,6 +140,43 @@ class FigureMetrics:
         }
 
     # ------------------------------------------------------------------
+    # fault-model / delivery-robustness views
+    # ------------------------------------------------------------------
+    def delivery_ratio(self, kind: str = None) -> float:
+        """Acked fraction of reliably-sent payloads (1.0 when none sent)."""
+        return self.stats.delivery_ratio(kind)
+
+    def availability(self) -> float:
+        """Overall eventual-delivery availability of reliable traffic.
+
+        The fraction of reliably-tracked payloads that were eventually
+        acknowledged (possibly after retransmissions); the complement is
+        the dead-letter rate.  1.0 on a lossless fabric or when
+        reliable delivery is disabled.
+        """
+        return self.stats.delivery_ratio(None)
+
+    def reliability_summary(self) -> Dict[str, float]:
+        """Scalar robustness counters for harness bundles and CSV export."""
+        s = self.stats
+        return {
+            "availability": self.availability(),
+            "reliable_sends": float(sum(s.reliable_sends.values())),
+            "reliable_acked": float(sum(s.reliable_acked.values())),
+            "retransmissions": float(sum(s.retransmissions.values())),
+            "dead_letters": float(sum(s.dead_letters.values())),
+            "reliable_cancelled": float(sum(s.reliable_cancelled.values())),
+            "drops": float(s.total_drops()),
+            "duplicates_injected": float(sum(s.duplicates_by_kind.values())),
+            "duplicates_suppressed": float(sum(s.duplicates_suppressed.values())),
+            "unknown_payloads": float(sum(s.unknown_payloads.values())),
+        }
+
+    def drop_reasons(self) -> Dict[str, int]:
+        """Total drops by reason (loss, link_loss, outage, dead_dest)."""
+        return dict(self.stats.drops_by_reason())
+
+    # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
         """Everything at once, for harness result bundles."""
         return {
@@ -148,4 +185,5 @@ class FigureMetrics:
             "hops": self.hop_components(),
             "latency_ms": self.latency_components(),
             "total_load": self.total_load(),
+            "reliability": self.reliability_summary(),
         }

@@ -23,8 +23,9 @@ the Eq. 7 inverse transform.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,6 +40,7 @@ from .mbr import MBRBatcher
 from .multicast import middle_key
 from .protocol import (
     KIND,
+    Ack,
     HierarchyQuery,
     InnerProductSubscribe,
     LocateRequest,
@@ -49,10 +51,50 @@ from .protocol import (
     SimilaritySubscribe,
     WindowReply,
     WindowRequest,
+    next_delivery_id,
 )
 from .queries import InnerProductQuery, InnerProductResult, SimilarityMatch, SimilarityQuery
+from .reliable import ReliableSender
 
 __all__ = ["StreamIndexNode", "SourceState", "AggregatorEntry"]
+
+#: payload types whose redundant deliveries (retransmits, network-level
+#: duplicates) are suppressed outright: their handlers install state or
+#: append results, so replaying them must be a no-op.  Request/reply
+#: payloads (WindowRequest/WindowReply, LocateRequest) are exempt — a
+#: retransmitted request must be re-forwarded / re-answered, and their
+#: handlers are naturally idempotent.
+_DEDUP_SUPPRESS = (
+    MbrPublish,
+    SimilaritySubscribe,
+    InnerProductSubscribe,
+    RegisterStream,
+    SimilarityReport,
+    ResponsePush,
+    HierarchyQuery,
+)
+
+#: payload types acknowledged on delivery when reliable delivery is on
+_ACK_TYPES = (
+    MbrPublish,
+    SimilaritySubscribe,
+    InnerProductSubscribe,
+    RegisterStream,
+    LocateRequest,
+    SimilarityReport,
+    ResponsePush,
+    HierarchyQuery,
+)
+
+#: only *primary* deliveries are acked; span copies of a range multicast
+#: never are — the originator only needs the entry node's ack, and span
+#: tails lost to the network are healed by soft-state refresh instead
+_ACK_KINDS = frozenset(
+    {KIND.MBR, KIND.QUERY, KIND.REGISTER, KIND.NEIGHBOR_INFO, KIND.RESPONSE}
+)
+
+#: per-node bound on remembered delivery ids (FIFO eviction)
+_SEEN_LIMIT = 8192
 
 
 @dataclass
@@ -65,6 +107,11 @@ class SourceState:
     generator: Callable[[], float]
     values_ingested: int = 0
     mbrs_published: int = 0
+    #: most recent publication, kept for soft-state refresh: if the
+    #: index copy is lost (crash, loss) the source re-asserts it with
+    #: the remaining lifespan until it would have expired anyway
+    last_publish: Optional[MbrPublish] = None
+    last_publish_ms: float = 0.0
 
 
 @dataclass
@@ -118,6 +165,18 @@ class StreamIndexNode:
         #: in-flight window fetches: request id -> completion callback
         self._window_waiters: Dict[int, Callable[[Optional[np.ndarray]], None]] = {}
         self._next_request_id = 0
+        #: ack/retry state machine (no-op unless cfg.reliable_delivery)
+        self.reliable = ReliableSender(self)
+        #: delivery ids already processed here (receive-side dedup)
+        self._seen_deliveries: Set[int] = set()
+        self._seen_order: Deque[int] = deque()
+        #: window request id -> delivery id, to settle the retry timer
+        #: when the reply (rather than an explicit ack) completes it
+        self._window_delivery: Dict[int, int] = {}
+        #: client-side live queries, for soft-state refresh:
+        #: query id -> (last payload sent, absolute expiry)
+        self._active_sim_queries: Dict[int, Tuple[SimilaritySubscribe, float]] = {}
+        self._active_ip_queries: Dict[int, Tuple[InnerProductQuery, float]] = {}
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -134,6 +193,87 @@ class StreamIndexNode:
     def node_id(self) -> int:
         """This data center's Chord identifier."""
         return self.node.node_id
+
+    # ------------------------------------------------------------------
+    # reliable-delivery plumbing
+    # ------------------------------------------------------------------
+    def _reliable_route(
+        self,
+        payload,
+        *,
+        kind: str,
+        transit_kind: str,
+        dest_key: int,
+        on_give_up: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Route a payload with retransmission (when reliability is on)."""
+
+        def send() -> None:
+            msg = Message(
+                kind=kind, payload=payload, origin=self.node_id, dest_key=dest_key
+            )
+            self.system.overlay.route(self.node, msg, transit_kind=transit_kind)
+
+        self.reliable.track(payload, kind, send, on_give_up)
+        send()
+
+    def _reliable_disseminate(
+        self, payload, *, kind: str, transit_kind: str, low_key: int, high_key: int
+    ) -> None:
+        """Range-multicast a payload with retransmission of the entry send.
+
+        Only the entry node acks (span copies never do); losses further
+        along the span are healed by the periodic refresh, not retries.
+        """
+
+        def send() -> None:
+            self.system.multicast.disseminate(
+                self.node,
+                payload,
+                kind=kind,
+                transit_kind=transit_kind,
+                low_key=low_key,
+                high_key=high_key,
+            )
+
+        self.reliable.track(payload, kind, send)
+        send()
+
+    def _note_delivery(self, payload) -> bool:
+        """Remember a payload's delivery id; ``True`` if seen before."""
+        delivery_id = getattr(payload, "delivery_id", -1)
+        if delivery_id < 0:
+            return False
+        if delivery_id in self._seen_deliveries:
+            return True
+        self._seen_deliveries.add(delivery_id)
+        self._seen_order.append(delivery_id)
+        if len(self._seen_order) > _SEEN_LIMIT:
+            self._seen_deliveries.discard(self._seen_order.popleft())
+        return False
+
+    def _maybe_ack(self, message: Message, payload) -> None:
+        """Acknowledge a primary delivery of an ack-eligible payload.
+
+        Duplicates are re-acked too: the original ack may be the copy
+        the network lost.  Local deliveries settle the sender directly
+        (we *are* the sender) without network traffic.
+        """
+        if not self.cfg.reliable_delivery:
+            return
+        if message.kind not in _ACK_KINDS or not isinstance(payload, _ACK_TYPES):
+            return
+        delivery_id = getattr(payload, "delivery_id", -1)
+        if delivery_id < 0:
+            return
+        if message.origin == self.node_id:
+            self.reliable.on_ack(delivery_id)
+            return
+        ack = Ack(delivery_id=delivery_id, acker_id=self.node_id, kind=message.kind)
+        msg = Message(
+            kind=KIND.ACK, payload=ack, origin=self.node_id, dest_key=message.origin
+        )
+        self.system.overlay.route(self.node, msg, transit_kind=KIND.ACK_TRANSIT)
 
     # ------------------------------------------------------------------
     # stream source role
@@ -171,13 +311,17 @@ class StreamIndexNode:
     def _register_stream(self, stream_id: str) -> None:
         key = stream_identifier(stream_id, self.node.space)
         self._stats.record_origination(KIND.REGISTER)
-        msg = Message(
+        payload = RegisterStream(
+            stream_id=stream_id,
+            source_id=self.node_id,
+            delivery_id=next_delivery_id(),
+        )
+        self._reliable_route(
+            payload,
             kind=KIND.REGISTER,
-            payload=RegisterStream(stream_id=stream_id, source_id=self.node_id),
-            origin=self.node_id,
+            transit_kind=KIND.REGISTER_TRANSIT,
             dest_key=key,
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.REGISTER_TRANSIT)
 
     def on_stream_value(self, stream_id: str) -> None:
         """Ingest the next value of a locally attached stream."""
@@ -208,10 +352,13 @@ class StreamIndexNode:
             low_key=klow,
             high_key=khigh,
             lifespan_ms=self.cfg.workload.bspan_ms,
+            delivery_id=next_delivery_id(),
         )
+        if src is not None:
+            src.last_publish = payload
+            src.last_publish_ms = self._sim.now
         self._stats.record_origination(KIND.MBR)
-        self.system.multicast.disseminate(
-            self.node,
+        self._reliable_disseminate(
             payload,
             kind=KIND.MBR,
             transit_kind=KIND.MBR_TRANSIT,
@@ -253,11 +400,15 @@ class StreamIndexNode:
             high_key=khigh,
             middle_key=mid,
             lifespan_ms=query.lifespan_ms,
+            delivery_id=next_delivery_id(),
         )
         self.similarity_results.setdefault(query.query_id, [])
+        self._active_sim_queries[query.query_id] = (
+            payload,
+            self._sim.now + query.lifespan_ms,
+        )
         self._stats.record_origination(KIND.QUERY)
-        self.system.multicast.disseminate(
-            self.node,
+        self._reliable_disseminate(
             payload,
             kind=KIND.QUERY,
             transit_kind=KIND.QUERY_TRANSIT,
@@ -286,16 +437,16 @@ class StreamIndexNode:
             radius=query.radius,
             low_key=klow,
             high_key=khigh,
+            delivery_id=next_delivery_id(),
         )
         self.similarity_results.setdefault(query.query_id, [])
         self._stats.record_origination(KIND.QUERY)
-        msg = Message(
+        self._reliable_route(
+            payload,
             kind=KIND.QUERY,
-            payload=payload,
-            origin=self.node_id,
+            transit_kind=KIND.QUERY_TRANSIT,
             dest_key=center_key,
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
         return query.query_id
 
     def _on_hierarchy_query(self, payload: HierarchyQuery) -> None:
@@ -328,26 +479,33 @@ class StreamIndexNode:
         if int(query.index_vector.max()) >= self.cfg.window_size:
             raise ValueError("index vector exceeds the window size")
         self.inner_product_results.setdefault(query.query_id, [])
+        self._active_ip_queries[query.query_id] = (
+            query,
+            self._sim.now + query.lifespan_ms,
+        )
+        self._route_inner_product(query)
+        return query.query_id
+
+    def _route_inner_product(self, query: InnerProductQuery) -> None:
+        """Send the subscription toward the stream's source (Sec. IV-D)."""
         self._stats.record_origination(KIND.QUERY)
         cached_source = self.locate_cache.get(query.stream_id)
         if cached_source is not None:
-            payload = InnerProductSubscribe(query=query, client_id=self.node_id)
-            msg = Message(
-                kind=KIND.QUERY,
-                payload=payload,
-                origin=self.node_id,
-                dest_key=cached_source,
+            payload = InnerProductSubscribe(
+                query=query, client_id=self.node_id, delivery_id=next_delivery_id()
             )
+            dest_key = cached_source
         else:
-            payload = LocateRequest(query=query, client_id=self.node_id)
-            msg = Message(
-                kind=KIND.QUERY,
-                payload=payload,
-                origin=self.node_id,
-                dest_key=stream_identifier(query.stream_id, self.node.space),
+            payload = LocateRequest(
+                query=query, client_id=self.node_id, delivery_id=next_delivery_id()
             )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
-        return query.query_id
+            dest_key = stream_identifier(query.stream_id, self.node.space)
+        self._reliable_route(
+            payload,
+            kind=KIND.QUERY,
+            transit_kind=KIND.QUERY_TRANSIT,
+            dest_key=dest_key,
+        )
 
     def fetch_window(
         self, stream_id: str, callback: Callable[[Optional[np.ndarray]], None]
@@ -369,18 +527,35 @@ class StreamIndexNode:
             stream_id=stream_id,
             requester_id=self.node_id,
             request_id=request_id,
+            delivery_id=next_delivery_id(),
         )
+        self._window_delivery[request_id] = payload.delivery_id
         self._stats.record_origination(KIND.QUERY)
-        cached = self.locate_cache.get(stream_id)
-        dest_key = (
-            cached
-            if cached is not None
-            else stream_identifier(stream_id, self.node.space)
-        )
-        msg = Message(
-            kind=KIND.QUERY, payload=payload, origin=self.node_id, dest_key=dest_key
-        )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
+
+        def send() -> None:
+            # re-resolved per (re)send: a retry after the source was
+            # cached skips the location-service indirection
+            cached = self.locate_cache.get(stream_id)
+            dest_key = (
+                cached
+                if cached is not None
+                else stream_identifier(stream_id, self.node.space)
+            )
+            msg = Message(
+                kind=KIND.QUERY, payload=payload, origin=self.node_id, dest_key=dest_key
+            )
+            self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
+
+        def give_up() -> None:
+            self._window_delivery.pop(request_id, None)
+            waiter = self._window_waiters.pop(request_id, None)
+            if waiter is not None:
+                waiter(None)
+
+        # completion is reply-based (the WindowReply settles the timer),
+        # so the request is tracked but never explicitly acked
+        self.reliable.track(payload, KIND.QUERY, send, on_give_up=give_up)
+        send()
         return request_id
 
     def verify_similarity(
@@ -432,8 +607,22 @@ class StreamIndexNode:
     # DHT application upcall
     # ------------------------------------------------------------------
     def deliver(self, node: ChordNode, message: Message) -> None:
-        """Dispatch a delivered overlay message by payload type."""
+        """Dispatch a delivered overlay message by payload type.
+
+        Redundant deliveries of idempotence-critical payloads
+        (retransmissions after a lost ack, network-injected duplicates)
+        are suppressed by delivery id before dispatch — and re-acked,
+        since the sender retransmitting means our first ack was lost.
+        """
         payload = message.payload
+        if isinstance(payload, Ack):
+            self.reliable.on_ack(payload.delivery_id)
+            return
+        if isinstance(payload, _DEDUP_SUPPRESS) and self._note_delivery(payload):
+            self._stats.record_duplicate_suppressed(message.kind)
+            self._maybe_ack(message, payload)
+            return
+        self._maybe_ack(message, payload)
         if isinstance(payload, MbrPublish):
             self._on_mbr(message, payload)
         elif isinstance(payload, SimilaritySubscribe):
@@ -454,7 +643,10 @@ class StreamIndexNode:
             self._on_window_reply(payload)
         elif isinstance(payload, HierarchyQuery):
             self._on_hierarchy_query(payload)
-        # unknown payloads are dropped silently (forward compatibility)
+        else:
+            # unknown payloads are ignored (forward compatibility) but
+            # counted, so fault-model debugging doesn't chase ghosts
+            self._stats.record_unknown_payload(message.kind)
 
     def _on_mbr(self, message: Message, payload: MbrPublish) -> None:
         self.index.add_mbr(payload.mbr, expires=self._sim.now + payload.lifespan_ms)
@@ -501,14 +693,17 @@ class StreamIndexNode:
         source_id = self.index.registry.get(payload.query.stream_id)
         if source_id is None:
             return  # unknown stream: query is dropped (no such source yet)
-        sub = InnerProductSubscribe(query=payload.query, client_id=payload.client_id)
-        msg = Message(
+        sub = InnerProductSubscribe(
+            query=payload.query,
+            client_id=payload.client_id,
+            delivery_id=next_delivery_id(),
+        )
+        self._reliable_route(
+            sub,
             kind=KIND.QUERY,
-            payload=sub,
-            origin=self.node_id,
+            transit_kind=KIND.QUERY_TRANSIT,
             dest_key=source_id,
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
 
     def _on_inner_product_subscribe(self, payload: InnerProductSubscribe) -> None:
         if payload.query.stream_id not in self.sources:
@@ -553,6 +748,9 @@ class StreamIndexNode:
 
     def _on_window_reply(self, payload: WindowReply) -> None:
         self.locate_cache[payload.stream_id] = payload.source_id
+        delivery_id = self._window_delivery.pop(payload.request_id, None)
+        if delivery_id is not None:
+            self.reliable.settle(delivery_id)
         waiter = self._window_waiters.pop(payload.request_id, None)
         if waiter is not None:
             waiter(np.asarray(payload.window, dtype=np.float64))
@@ -619,11 +817,72 @@ class StreamIndexNode:
     # ------------------------------------------------------------------
     def on_notification_tick(self) -> None:
         """The NPER-periodic duties: purge, detect, report, respond, push."""
+        if not self.node.alive:
+            return  # a crashed data center must not report from the grave
         now = self._sim.now
         self.index.purge(now)
         self._report_similarities(now)
         self._push_aggregated_responses(now)
         self._push_inner_products(now)
+
+    def on_refresh_tick(self) -> None:
+        """Soft-state healing: periodically re-assert what should exist.
+
+        Sources re-register their streams and re-publish the freshest
+        MBR (with its *remaining* lifespan, so refresh never extends an
+        entry past its original expiry); clients re-disseminate live
+        similarity subscriptions and re-send live inner-product
+        subscriptions.  Every refresh carries a fresh delivery id, so
+        receivers reprocess it — re-installing state lost to a crashed
+        index node or a dropped span copy within one refresh period.
+        """
+        if not self.node.alive:
+            return
+        now = self._sim.now
+        for stream_id, src in self.sources.items():
+            self._register_stream(stream_id)
+            last = src.last_publish
+            if last is not None:
+                remaining = src.last_publish_ms + last.lifespan_ms - now
+                if remaining > 0:
+                    fresh = replace(
+                        last,
+                        lifespan_ms=remaining,
+                        delivery_id=next_delivery_id(),
+                    )
+                    self._stats.record_origination(KIND.MBR)
+                    self._reliable_disseminate(
+                        fresh,
+                        kind=KIND.MBR,
+                        transit_kind=KIND.MBR_TRANSIT,
+                        low_key=fresh.low_key,
+                        high_key=fresh.high_key,
+                    )
+        for query_id in list(self._active_sim_queries):
+            payload, expires = self._active_sim_queries[query_id]
+            remaining = expires - now
+            if remaining <= 0:
+                del self._active_sim_queries[query_id]
+                continue
+            fresh = replace(
+                payload, lifespan_ms=remaining, delivery_id=next_delivery_id()
+            )
+            self._active_sim_queries[query_id] = (fresh, expires)
+            self._stats.record_origination(KIND.QUERY)
+            self._reliable_disseminate(
+                fresh,
+                kind=KIND.QUERY,
+                transit_kind=KIND.QUERY_TRANSIT,
+                low_key=fresh.low_key,
+                high_key=fresh.high_key,
+            )
+        for query_id in list(self._active_ip_queries):
+            query, expires = self._active_ip_queries[query_id]
+            remaining = expires - now
+            if remaining <= 0:
+                del self._active_ip_queries[query_id]
+                continue
+            self._route_inner_product(replace(query, lifespan_ms=remaining))
 
     def _report_similarities(self, now: float) -> None:
         """Match local MBRs against subscriptions; report to middle nodes."""
@@ -638,17 +897,21 @@ class StreamIndexNode:
                 continue
             if candidates or self.cfg.report_empty:
                 rep = reports.setdefault(
-                    mid, SimilarityReport(reporter_id=self.node_id, middle_key=mid)
+                    mid,
+                    SimilarityReport(
+                        reporter_id=self.node_id,
+                        middle_key=mid,
+                        delivery_id=next_delivery_id(),
+                    ),
                 )
                 rep.matches[stored.sub.query_id] = candidates
         for mid, rep in reports.items():
-            msg = Message(
+            self._reliable_route(
+                rep,
                 kind=KIND.NEIGHBOR_INFO,
-                payload=rep,
-                origin=self.node_id,
+                transit_kind=KIND.NEIGHBOR_TRANSIT,
                 dest_key=mid,
             )
-            self.system.overlay.route(self.node, msg, transit_kind=KIND.NEIGHBOR_TRANSIT)
 
     def _push_aggregated_responses(self, now: float) -> None:
         """Middle-node role: periodic responses to clients (Sec. IV-F)."""
@@ -689,11 +952,12 @@ class StreamIndexNode:
             self._send_response(stored.sub.client_id, payload)
 
     def _send_response(self, client_id: int, payload: ResponsePush) -> None:
+        if payload.delivery_id < 0:
+            payload.delivery_id = next_delivery_id()
         self._stats.record_origination(KIND.RESPONSE)
-        msg = Message(
+        self._reliable_route(
+            payload,
             kind=KIND.RESPONSE,
-            payload=payload,
-            origin=self.node_id,
+            transit_kind=KIND.RESPONSE_TRANSIT,
             dest_key=client_id,
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.RESPONSE_TRANSIT)

@@ -10,6 +10,7 @@ are defined alongside in :data:`KIND` so middleware and metrics agree.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -31,7 +32,22 @@ __all__ = [
     "HierarchyQuery",
     "SimilarityReport",
     "ResponsePush",
+    "Ack",
+    "next_delivery_id",
 ]
+
+_delivery_ids = itertools.count(1)
+
+
+def next_delivery_id() -> int:
+    """A fresh globally unique delivery id.
+
+    Every payload instance the middleware puts on the wire carries one;
+    receivers deduplicate redundant deliveries (retransmits, injected
+    duplicates) by it, and acknowledgements quote it.  ``-1`` on a
+    payload means "no delivery tracking" (hand-built payloads in tests).
+    """
+    return next(_delivery_ids)
 
 
 class KIND:
@@ -72,6 +88,8 @@ class KIND:
     NEIGHBOR_TRANSIT = "neighbor_transit"
     REGISTER = "register"
     REGISTER_TRANSIT = "register_transit"
+    ACK = "ack"
+    ACK_TRANSIT = "ack_transit"
 
 
 @dataclass
@@ -87,6 +105,7 @@ class MbrPublish:
     low_key: int
     high_key: int
     lifespan_ms: float
+    delivery_id: int = -1
 
 
 @dataclass
@@ -117,6 +136,7 @@ class SimilaritySubscribe:
     high_key: int
     middle_key: int
     lifespan_ms: float
+    delivery_id: int = -1
 
 
 @dataclass
@@ -125,6 +145,7 @@ class RegisterStream:
 
     stream_id: str
     source_id: int
+    delivery_id: int = -1
 
 
 @dataclass
@@ -133,6 +154,7 @@ class LocateRequest:
 
     query: InnerProductQuery
     client_id: int
+    delivery_id: int = -1
 
 
 @dataclass
@@ -150,6 +172,7 @@ class InnerProductSubscribe:
 
     query: InnerProductQuery
     client_id: int
+    delivery_id: int = -1
 
 
 @dataclass
@@ -166,6 +189,7 @@ class WindowRequest:
     stream_id: str
     requester_id: int
     request_id: int
+    delivery_id: int = -1
 
 
 @dataclass
@@ -194,6 +218,7 @@ class HierarchyQuery:
     radius: float
     low_key: int
     high_key: int
+    delivery_id: int = -1
 
 
 @dataclass
@@ -207,6 +232,7 @@ class SimilarityReport:
     reporter_id: int
     middle_key: int
     matches: Dict[int, List[Tuple[str, float]]] = field(default_factory=dict)
+    delivery_id: int = -1
 
 
 @dataclass
@@ -224,3 +250,19 @@ class ResponsePush:
     #: id of the responding source node (inner-product pushes only);
     #: lets the client cache the stream -> source mapping (Sec. IV-D)
     source_id: int = -1
+    delivery_id: int = -1
+
+
+@dataclass
+class Ack:
+    """Delivery acknowledgement for a reliably-sent payload.
+
+    Routed back to the sending node (its id is the destination key);
+    quoting the payload's ``delivery_id`` lets the sender cancel the
+    pending retransmission timer.  ``kind`` echoes the acked payload's
+    accounting kind for the delivery-ratio metric.
+    """
+
+    delivery_id: int
+    acker_id: int
+    kind: str = ""

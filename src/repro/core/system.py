@@ -25,6 +25,7 @@ from ..chord.dht import DhtOverlay
 from ..chord.ring import ChordRing
 from ..chord.stabilize import Stabilizer
 from ..sim.engine import Simulator
+from ..sim.faults import FaultInjector, FaultPlan, JitteredDelay
 from ..sim.network import MessageStats, Network
 from ..sim.process import PeriodicProcess
 from ..sim.rng import RngRegistry
@@ -55,6 +56,11 @@ class StreamIndexSystem:
     with_stabilizer:
         Attach the churn/maintenance protocol (needed only for dynamic
         membership experiments; static experiments skip its event load).
+    fault_plan:
+        Explicit network fault model; overrides the convenience
+        ``loss_rate`` / ``duplicate_rate`` / ``delay_jitter_ms`` config
+        knobs.  ``None`` with all knobs at zero keeps the paper's
+        perfect fabric.
     """
 
     def __init__(
@@ -65,13 +71,28 @@ class StreamIndexSystem:
         seed: int = 0,
         mapper=None,
         with_stabilizer: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.config = config if config is not None else MiddlewareConfig()
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.network = Network(self.sim, hop_delay_ms=self.config.hop_delay_ms)
+        if fault_plan is None:
+            fault_plan = self._plan_from_config(self.config)
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None and not fault_plan.is_trivial:
+            self.fault_injector = FaultInjector(
+                fault_plan,
+                self.rngs.get("faults"),
+                default_delay_ms=self.config.hop_delay_ms,
+            )
+        self.network = Network(
+            self.sim,
+            hop_delay_ms=self.config.hop_delay_ms,
+            injector=self.fault_injector,
+            liveness=self._node_alive,
+        )
         self.ring = ChordRing(m=self.config.m)
         for i in range(n_nodes):
             self.ring.create_node(f"dc-{i}")
@@ -102,23 +123,63 @@ class StreamIndexSystem:
 
         self.apps: Dict[int, StreamIndexNode] = {}
         self._app_order: List[StreamIndexNode] = []
-        rng = self.rngs.get("nper-phase")
-        nper = self.config.workload.nper_ms
         self._nper_procs: List[PeriodicProcess] = []
+        self._refresh_procs: List[PeriodicProcess] = []
         self._stream_procs: List[PeriodicProcess] = []
         for node in self.ring:
             app = StreamIndexNode(node, self)
             self.apps[node.node_id] = app
             self._app_order.append(app)
             self.overlay.register_app(node, app)
-            proc = PeriodicProcess(
+            self._start_app_processes(app)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_from_config(cfg: MiddlewareConfig) -> Optional[FaultPlan]:
+        """Build a fault plan from the convenience config knobs."""
+        if (
+            cfg.loss_rate == 0.0
+            and cfg.duplicate_rate == 0.0
+            and cfg.delay_jitter_ms == 0.0
+        ):
+            return None
+        delay = None
+        if cfg.delay_jitter_ms > 0.0:
+            delay = JitteredDelay(base_ms=cfg.hop_delay_ms, jitter_ms=cfg.delay_jitter_ms)
+        return FaultPlan(
+            loss_rate=cfg.loss_rate,
+            duplicate_rate=cfg.duplicate_rate,
+            delay_model=delay,
+        )
+
+    def _node_alive(self, node_id: int) -> bool:
+        """Whether messages arriving at ``node_id`` find a live node."""
+        app = self.apps.get(node_id)
+        return app is not None and app.node.alive
+
+    def _start_app_processes(self, app: StreamIndexNode) -> None:
+        """Attach the periodic NPER (and, if enabled, refresh) processes."""
+        rng = self.rngs.get("nper-phase")
+        nper = self.config.workload.nper_ms
+        proc = PeriodicProcess(
+            self.sim,
+            nper,
+            app.on_notification_tick,
+            phase=float(rng.uniform(0.0, nper)),
+        )
+        proc.start()
+        self._nper_procs.append(proc)
+        period = self.config.refresh_period_ms
+        if period > 0:
+            rng_r = self.rngs.get("refresh-phase")
+            rproc = PeriodicProcess(
                 self.sim,
-                nper,
-                app.on_notification_tick,
-                phase=float(rng.uniform(0.0, nper)),
+                period,
+                app.on_refresh_tick,
+                phase=float(rng_r.uniform(0.0, period)),
             )
-            proc.start()
-            self._nper_procs.append(proc)
+            rproc.start()
+            self._refresh_procs.append(rproc)
 
     # ------------------------------------------------------------------
     @property
@@ -174,28 +235,21 @@ class StreamIndexSystem:
         self.apps[node.node_id] = app
         self._app_order.append(app)
         self.overlay.register_app(node, app)
-        rng = self.rngs.get("nper-phase")
-        nper = self.config.workload.nper_ms
-        proc = PeriodicProcess(
-            self.sim,
-            nper,
-            app.on_notification_tick,
-            phase=float(rng.uniform(0.0, nper)),
-        )
-        proc.start()
-        self._nper_procs.append(proc)
+        self._start_app_processes(app)
         return app
 
     def fail_node(self, app: StreamIndexNode) -> None:
         """Crash a data center: it vanishes without notice.
 
-        Its stream processes stop, its app is detached, and the ring
-        routes around it once stabilization notices.
+        Its stream processes stop, its app is detached, its pending
+        retransmissions die with it, and the ring routes around it once
+        stabilization notices.
         """
         if self.stabilizer is None:
             raise RuntimeError("fail_node requires with_stabilizer=True")
         self.stabilizer.fail(app.node)
         self.overlay.unregister_app(app.node)
+        app.reliable.cancel_all()
 
     # ------------------------------------------------------------------
     # stream attachment
@@ -254,6 +308,18 @@ class StreamIndexSystem:
     def reset_stats(self) -> None:
         """Discard all message counters (start of the measured interval)."""
         self.network.stats = MessageStats()
+
+    def pending_reliable(self) -> int:
+        """Reliable sends still inside their retry schedule, system-wide."""
+        return sum(app.reliable.pending_count for app in self.apps.values())
+
+    def eventual_delivery_ratio(self) -> float:
+        """Acked fraction of settled reliable sends (see ``MessageStats``).
+
+        Excludes sends still awaiting an ack at call time and sends whose
+        originator crashed, so the complement is the dead-letter rate.
+        """
+        return self.network.stats.eventual_delivery_ratio(self.pending_reliable())
 
     def position_range_of_keys(self, low_key: int, high_key: int):
         """Positions (ring-order indices) of the nodes covering a key range.

@@ -9,6 +9,15 @@ per-hop latency and complete message accounting
 """
 
 from .engine import EventHandle, SimulationError, Simulator
+from .faults import (
+    ConstantDelay,
+    DelayModel,
+    FaultInjector,
+    FaultPlan,
+    HeavyTailDelay,
+    JitteredDelay,
+    LinkOutage,
+)
 from .network import DEFAULT_HOP_DELAY_MS, Message, MessageStats, Network
 from .process import PeriodicProcess, Timer
 from .rng import RngRegistry
@@ -24,6 +33,13 @@ __all__ = [
     "PeriodicProcess",
     "Timer",
     "RngRegistry",
+    "DelayModel",
+    "ConstantDelay",
+    "JitteredDelay",
+    "HeavyTailDelay",
+    "LinkOutage",
+    "FaultPlan",
+    "FaultInjector",
 ]
 
 from .tracing import MessageTracer, TraceEvent  # noqa: E402

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from .engine import Simulator
+from .faults import DROP_DEAD_DEST, FaultInjector
 
 __all__ = ["Message", "MessageStats", "Network", "DEFAULT_HOP_DELAY_MS"]
 
@@ -124,6 +125,25 @@ class MessageStats:
         self.latency_by_kind: Dict[str, list] = defaultdict(lambda: [0.0, 0])
         #: number of originated input events per kind
         self.originations: Counter[str] = Counter()
+        #: messages dropped in flight, per (kind, reason) — loss, outage,
+        #: dead destination, …
+        self.drops_per_kind: Counter[Tuple[str, str]] = Counter()
+        #: injected duplicate copies per kind
+        self.duplicates_by_kind: Counter[str] = Counter()
+        #: redundant deliveries suppressed by receiver-side dedup, per kind
+        self.duplicates_suppressed: Counter[str] = Counter()
+        #: retransmissions issued by the reliable-delivery layer, per kind
+        self.retransmissions: Counter[str] = Counter()
+        #: reliable sends that exhausted their retry budget, per kind
+        self.dead_letters: Counter[str] = Counter()
+        #: reliable (acknowledged) deliveries attempted, per kind
+        self.reliable_sends: Counter[str] = Counter()
+        #: reliable deliveries confirmed by an ack, per kind
+        self.reliable_acked: Counter[str] = Counter()
+        #: reliable sends abandoned because the *sender* died, per kind
+        self.reliable_cancelled: Counter[str] = Counter()
+        #: delivered payloads no handler recognised, per message kind
+        self.unknown_payloads: Counter[str] = Counter()
 
     # -- recording -----------------------------------------------------
     def record_send(self, node: int, kind: str) -> None:
@@ -138,6 +158,42 @@ class MessageStats:
     def record_origination(self, kind: str) -> None:
         """Record the creation of a new input event (MBR/query/response)."""
         self.originations[kind] += 1
+
+    def record_drop(self, kind: str, reason: str) -> None:
+        """Record a message lost in flight (and why)."""
+        self.drops_per_kind[(kind, reason)] += 1
+
+    def record_duplicate(self, kind: str) -> None:
+        """Record an injected duplicate copy."""
+        self.duplicates_by_kind[kind] += 1
+
+    def record_duplicate_suppressed(self, kind: str) -> None:
+        """Record a redundant delivery discarded by receiver-side dedup."""
+        self.duplicates_suppressed[kind] += 1
+
+    def record_retransmission(self, kind: str) -> None:
+        """Record one retry of an unacknowledged reliable send."""
+        self.retransmissions[kind] += 1
+
+    def record_dead_letter(self, kind: str) -> None:
+        """Record a reliable send abandoned after its retry budget."""
+        self.dead_letters[kind] += 1
+
+    def record_reliable_send(self, kind: str) -> None:
+        """Record an acknowledged-delivery attempt (one per unique payload)."""
+        self.reliable_sends[kind] += 1
+
+    def record_reliable_ack(self, kind: str) -> None:
+        """Record an acknowledged-delivery confirmation."""
+        self.reliable_acked[kind] += 1
+
+    def record_reliable_cancelled(self, kind: str) -> None:
+        """Record a reliable send dropped because its sender crashed."""
+        self.reliable_cancelled[kind] += 1
+
+    def record_unknown_payload(self, kind: str) -> None:
+        """Record a delivered payload that no handler recognised."""
+        self.unknown_payloads[kind] += 1
 
     def record_delivery(self, msg: Message, now: float) -> None:
         """Record final delivery of a logical message (hops & latency)."""
@@ -178,12 +234,60 @@ class MessageStats:
         """Average number of sends per node, broken down by kind."""
         return {k: v / n_nodes for k, v in self.sends_by_kind.items()}
 
+    def total_drops(self) -> int:
+        """Messages lost in flight, all kinds and reasons combined."""
+        return sum(self.drops_per_kind.values())
+
+    def drops_by_reason(self) -> Dict[str, int]:
+        """Drop totals aggregated over kinds, keyed by reason."""
+        out: Dict[str, int] = defaultdict(int)
+        for (_kind, reason), v in self.drops_per_kind.items():
+            out[reason] += v
+        return dict(out)
+
+    def delivery_ratio(self, kind: Optional[str] = None) -> float:
+        """Fraction of reliable sends confirmed by an ack (1.0 if none).
+
+        With ``kind`` given, the ratio for that kind only; otherwise the
+        overall ratio across every reliably-sent kind.
+        """
+        if kind is not None:
+            attempted = self.reliable_sends.get(kind, 0)
+            return self.reliable_acked.get(kind, 0) / attempted if attempted else 1.0
+        attempted = sum(self.reliable_sends.values())
+        return sum(self.reliable_acked.values()) / attempted if attempted else 1.0
+
+    def eventual_delivery_ratio(self, in_flight: int = 0) -> float:
+        """Acked fraction of reliable sends whose outcome is *settled*.
+
+        The instantaneous :meth:`delivery_ratio` undercounts on a live
+        system: sends still inside their retry schedule at measurement
+        cutoff, and sends whose originating node crashed (nobody is left
+        waiting for the answer), are unsettled rather than failed.  This
+        view excludes both — pass the number of still-pending sends as
+        ``in_flight`` (see ``StreamIndexSystem.pending_reliable``) — so
+        the complement is exactly the dead-letter rate.
+        """
+        attempted = (
+            sum(self.reliable_sends.values())
+            - sum(self.reliable_cancelled.values())
+            - in_flight
+        )
+        acked = sum(self.reliable_acked.values())
+        return acked / attempted if attempted > 0 else 1.0
+
 
 class Network:
-    """Point-to-point message fabric with a constant per-hop delay.
+    """Point-to-point message fabric with per-hop delay and faults.
 
     The network knows nothing about Chord: routing decisions are made by
     the overlay layer, which calls :meth:`hop` once per physical hop.
+    Without an ``injector`` every hop takes the constant
+    ``hop_delay_ms`` and arrives exactly once — the seed (and paper)
+    behaviour.  With a :class:`~repro.sim.faults.FaultInjector`
+    attached, each hop may be dropped, jittered, or duplicated according
+    to the injector's :class:`~repro.sim.faults.FaultPlan`, with every
+    injected event accounted in :class:`MessageStats`.
     """
 
     def __init__(
@@ -193,6 +297,8 @@ class Network:
         hop_delay_ms: float = DEFAULT_HOP_DELAY_MS,
         stats: Optional[MessageStats] = None,
         tracer=None,
+        injector: Optional[FaultInjector] = None,
+        liveness: Optional[Callable[[int], bool]] = None,
     ) -> None:
         self.sim = sim
         self.hop_delay_ms = float(hop_delay_ms)
@@ -200,6 +306,12 @@ class Network:
         #: optional :class:`repro.sim.tracing.MessageTracer`; may also be
         #: attached after construction
         self.tracer = tracer
+        #: optional fault injector consulted on every hop
+        self.injector = injector
+        #: optional ``node_id -> alive?`` oracle; when set, messages
+        #: arriving at a node that died while they were in flight are
+        #: dropped (and counted) instead of invoking its handlers
+        self.liveness = liveness
 
     def hop(
         self,
@@ -213,18 +325,41 @@ class Network:
         Accounting: a send at ``src`` and (on arrival) a receive at
         ``dst`` are recorded under ``msg.kind``; ``msg.hops`` is
         incremented.  ``on_arrival(msg)`` runs at the destination after
-        the hop delay.
+        the hop delay — unless the fault injector drops the hop or the
+        destination died in flight, in which case the loss is recorded
+        under ``drops_per_kind`` and the handler never runs.  An
+        injected duplicate schedules a second, independently delayed
+        arrival carrying a field-identical copy of the message.
         """
         self.stats.record_send(src, msg.kind)
         if self.tracer is not None:
             self.tracer.record_send(self.sim.now, src, dst, msg)
         msg.hops += 1
 
-        def _arrive() -> None:
-            self.stats.record_receive(dst, msg.kind)
-            on_arrival(msg)
+        if self.injector is not None:
+            verdict = self.injector.judge(src, dst, msg.kind, self.sim.now)
+            if verdict.dropped:
+                self.stats.record_drop(msg.kind, verdict.drop_reason)
+                return
+            delay = verdict.delay_ms
+            dup_delay = verdict.duplicate_delay_ms
+        else:
+            delay = self.hop_delay_ms
+            dup_delay = None
 
-        self.sim.schedule(self.hop_delay_ms, _arrive)
+        def _arrive(m: Message) -> None:
+            if self.liveness is not None and not self.liveness(dst):
+                self.stats.record_drop(m.kind, DROP_DEAD_DEST)
+                return
+            self.stats.record_receive(dst, m.kind)
+            on_arrival(m)
+
+        self.sim.schedule(delay, _arrive, msg)
+        if dup_delay is not None:
+            # The copy keeps msg_id/root_id (it *is* the same logical
+            # message) but routes independently from here on.
+            self.stats.record_duplicate(msg.kind)
+            self.sim.schedule(dup_delay, _arrive, replace(msg))
 
     def record_delivery(self, node: int, msg: Message) -> None:
         """Record final delivery of a logical message (stats + trace)."""

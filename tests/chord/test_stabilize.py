@@ -128,3 +128,78 @@ def test_nonconvergence_raises():
     sim, ring, stab = build(5)
     with pytest.raises(RuntimeError):
         stab.stabilize_until_converged(max_rounds=0)
+
+
+def test_mass_failure_beyond_successor_list_recovers():
+    """More simultaneous consecutive failures than the successor list
+    covers (len-1 = 3): survivors must scavenge fingers/predecessor and
+    rebuild the ring rather than declaring themselves alone."""
+    sim, ring, stab = build(20)
+    ids = ring.node_ids[:]
+    for nid in ids[3:9]:  # six consecutive failures > successor_list_len - 1
+        stab.fail(ring.node(nid))
+    stab.stabilize_until_converged()
+    assert len(ring) == 14
+    assert_exact_routing(ring)
+    assert stab.partitioned_nodes() == []
+
+
+def test_mass_failure_half_the_ring_recovers():
+    sim, ring, stab = build(16)
+    victims = list(ring)[::2]  # every other node, simultaneously
+    for v in victims:
+        stab.fail(v)
+    stab.stabilize_until_converged()
+    assert len(ring) == 8
+    assert_exact_routing(ring)
+
+
+def test_emergency_successor_picks_nearest_clockwise():
+    sim, ring, stab = build(12)
+    node = list(ring)[0]
+    # wipe the successor list entirely, keep fingers intact
+    node.successor_list = []
+    cand = Stabilizer._emergency_successor(node)
+    assert cand is not None and cand.alive and cand is not node
+    want = min(
+        (c for c in ring if c is not node),
+        key=lambda c: (c.node_id - node.node_id) % ring.space.size,
+    )
+    assert cand is want
+
+
+def test_isolated_node_reports_partition_not_hang():
+    """A node stripped of every live reference cannot repair itself; the
+    convergence driver must say so explicitly instead of spinning."""
+    sim, ring, stab = build(8)
+    lonely = list(ring)[0]
+    # sever every reference the node holds (as if all its known peers
+    # crashed and their replacements are unreachable)
+    lonely.successor = lonely
+    lonely.successor_list = []
+    lonely.predecessor = None
+    lonely.fingers = [None] * ring.space.m
+    # ... and every reference TO it, so nobody re-adopts it (the node is
+    # alive but unreachable — e.g. behind a network partition)
+    others = [n for n in ring if n is not lonely]  # ascending id order
+    for i, other in enumerate(others):
+        if other.successor is lonely:
+            other.successor = others[(i + 1) % len(others)]
+        other.successor_list = [s for s in other.successor_list if s is not lonely]
+        if other.predecessor is lonely:
+            other.predecessor = others[(i - 1) % len(others)]
+        other.fingers = [f if f is not lonely else None for f in other.fingers]
+    with pytest.raises(RuntimeError, match="partitioned"):
+        stab.stabilize_until_converged(max_rounds=30)
+    assert lonely in stab.partitioned_nodes()
+
+
+def test_partitioned_nodes_empty_on_healthy_ring():
+    sim, ring, stab = build(10)
+    stab.stabilize_until_converged()
+    assert stab.partitioned_nodes() == []
+
+
+def test_single_node_ring_not_partitioned():
+    sim, ring, stab = build(1)
+    assert stab.partitioned_nodes() == []

@@ -44,6 +44,7 @@ def test_parser_lists_all_commands():
         "distribution",
         "baselines",
         "ring-stats",
+        "lossy",
     }
 
 

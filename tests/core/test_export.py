@@ -55,7 +55,7 @@ def test_run_to_csv(tmp_path):
     rows = list(csv.reader(path.open()))
     assert rows[0] == ["section", "metric", "value"]
     sections = {r[0] for r in rows[1:]}
-    assert sections == {"meta", "load", "overhead", "hops", "latency_ms"}
+    assert sections == {"meta", "load", "overhead", "hops", "latency_ms", "reliability"}
     meta = {r[1]: r[2] for r in rows if r[0] == "meta"}
     assert meta["n_nodes"] == "6"
     assert float(meta["total_load"]) > 0

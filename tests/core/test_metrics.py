@@ -121,4 +121,13 @@ def test_summary_bundle():
     s = stats_with(sends=[(0, KIND.MBR, 1)], originations=[(KIND.MBR, 1)])
     m = FigureMetrics(stats=s, n_nodes=1, duration_ms=1_000.0)
     out = m.summary()
-    assert set(out) == {"load", "overhead", "hops", "latency_ms", "total_load"}
+    assert set(out) == {
+        "load",
+        "overhead",
+        "hops",
+        "latency_ms",
+        "total_load",
+        "reliability",
+    }
+    assert out["reliability"]["availability"] == 1.0  # nothing tracked
+    assert out["reliability"]["drops"] == 0.0

@@ -44,6 +44,15 @@ def test_z_normalization_affine_invariant(x, a, b):
 @given(windows(), st.floats(min_value=0.01, max_value=100.0))
 @settings(max_examples=100, deadline=None)
 def test_unit_normalization_scale_invariant(x, a):
+    """unit(ax) == unit(x) for a > 0.
+
+    Near-zero windows (norm ~ eps) may fall below the degeneracy
+    threshold on one side of the scaling and not the other; like the
+    z-norm test above, those carry no shape information and are
+    excluded.
+    """
+    if np.linalg.norm(x) < 1e-6:
+        return
     assert np.allclose(unit_normalize(a * x), unit_normalize(x), atol=1e-9)
 
 

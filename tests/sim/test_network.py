@@ -121,6 +121,51 @@ def test_sends_per_kind_node_mean():
     assert means["mbr"] == 2.0
 
 
+def test_delivery_ratio_accounting():
+    stats = MessageStats()
+    assert stats.delivery_ratio() == 1.0  # nothing sent yet
+    for _ in range(4):
+        stats.record_reliable_send("mbr")
+    for _ in range(3):
+        stats.record_reliable_ack("mbr")
+    stats.record_reliable_send("query")
+    stats.record_reliable_ack("query")
+    assert stats.delivery_ratio("mbr") == 0.75
+    assert stats.delivery_ratio("query") == 1.0
+    assert stats.delivery_ratio() == 0.8
+    assert stats.delivery_ratio("never_sent") == 1.0
+
+
+def test_eventual_delivery_ratio_excludes_unsettled():
+    stats = MessageStats()
+    assert stats.eventual_delivery_ratio() == 1.0
+    for _ in range(10):
+        stats.record_reliable_send("mbr")
+    for _ in range(6):
+        stats.record_reliable_ack("mbr")
+    stats.record_reliable_cancelled("mbr")  # sender crashed
+    # of 10 attempts: 6 acked, 1 cancelled, 2 still in flight -> 1 failed
+    assert stats.eventual_delivery_ratio(in_flight=2) == 6 / 7
+    # everything unsettled excluded -> perfect score
+    assert stats.eventual_delivery_ratio(in_flight=3) == 1.0
+    # degenerate: more exclusions than attempts
+    assert stats.eventual_delivery_ratio(in_flight=100) == 1.0
+
+
+def test_reliability_counters_record():
+    stats = MessageStats()
+    stats.record_retransmission("mbr")
+    stats.record_dead_letter("mbr")
+    stats.record_duplicate("query")
+    stats.record_duplicate_suppressed("query")
+    stats.record_unknown_payload("query")
+    assert stats.retransmissions["mbr"] == 1
+    assert stats.dead_letters["mbr"] == 1
+    assert stats.duplicates_by_kind["query"] == 1
+    assert stats.duplicates_suppressed["query"] == 1
+    assert stats.unknown_payloads["query"] == 1
+
+
 def test_custom_hop_delay():
     sim, net = make_net(hop_delay=10.0)
     got = []
