@@ -1,0 +1,54 @@
+"""Static analysis and runtime invariant checking.
+
+Two halves, one contract (DESIGN.md §7):
+
+* :mod:`repro.analysis.linter` — **simlint**, an AST-based linter that
+  machine-checks the determinism and protocol conventions the
+  reproduction's headline guarantees rest on: all randomness flows
+  through :class:`~repro.sim.rng.RngRegistry` substreams (D001), no
+  wall-clock reads inside the simulated world (D002), no hash-order
+  iteration in scheduling-adjacent code (D003), no float ``==`` in
+  routing/index math (D004), no message kinds outside the
+  :data:`~repro.core.protocol.KNOWN_KINDS` accounting registry (D005),
+  and no mutable defaults on payload dataclasses (D006).
+
+* :mod:`repro.analysis.invariants` — assertable runtime predicates for
+  Chord ring health, index-state placement, and message conservation,
+  exposed as :func:`check_invariants` / :func:`assert_invariants`, the
+  ``--check-invariants`` CLI flag and a pytest fixture.
+
+Run the linter with ``python -m repro lint [paths]``.
+"""
+
+from .baseline import load_baseline, split_baselined, write_baseline
+from .findings import Finding, fingerprint, format_finding
+from .invariants import (
+    InvariantReport,
+    Violation,
+    assert_invariants,
+    check_index_placement,
+    check_invariants,
+    check_message_conservation,
+    check_ring,
+)
+from .linter import lint_paths
+from .rules import RULES, all_rule_codes
+
+__all__ = [
+    "Finding",
+    "fingerprint",
+    "format_finding",
+    "lint_paths",
+    "RULES",
+    "all_rule_codes",
+    "load_baseline",
+    "write_baseline",
+    "split_baselined",
+    "Violation",
+    "InvariantReport",
+    "check_ring",
+    "check_index_placement",
+    "check_message_conservation",
+    "check_invariants",
+    "assert_invariants",
+]

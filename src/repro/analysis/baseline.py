@@ -1,0 +1,75 @@
+"""Baseline files: grandfathered simlint findings.
+
+A baseline lets the linter gate *new* violations while known ones are
+being paid down.  The file is plain text — one fingerprint per line,
+``#`` comments and blank lines ignored — and is a multiset: two
+identical grandfathered findings need two identical lines.
+
+The committed repository baseline (``simlint-baseline.txt``) ships
+empty: the initial rule catalog's real catches were fixed in the same
+change that introduced the linter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from .findings import Finding, fingerprint
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+PathLike = Union[str, Path]
+
+_HEADER = """\
+# simlint baseline — grandfathered findings, one fingerprint per line.
+# Regenerate with: python -m repro lint --write-baseline [paths]
+# Format: <path>::<rule>::<stripped source line>
+"""
+
+
+def load_baseline(path: PathLike) -> "Counter[str]":
+    """Read a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline (so fresh checkouts and
+    ``--baseline`` paths that do not exist yet behave identically).
+    """
+    baseline: Counter[str] = Counter()
+    p = Path(path)
+    if not p.exists():
+        return baseline
+    for raw in p.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        baseline[line] += 1
+    return baseline
+
+
+def write_baseline(findings: Iterable[Finding], path: PathLike) -> Path:
+    """Write the given findings as the new baseline; returns the path."""
+    lines = sorted(fingerprint(f) for f in findings)
+    Path(path).write_text(_HEADER + "".join(line + "\n" for line in lines))
+    return Path(path)
+
+
+def split_baselined(
+    findings: Iterable[Finding], baseline: "Counter[str]"
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into ``(fresh, grandfathered)``.
+
+    Each baseline entry absorbs at most as many findings as its
+    multiplicity; everything else is fresh and should fail the build.
+    """
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fp = fingerprint(finding)
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

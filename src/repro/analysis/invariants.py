@@ -1,0 +1,339 @@
+"""Runtime invariants: ring health, index placement, message conservation.
+
+Complementing the static rules, these predicates check properties only a
+*running* system exhibits:
+
+* **Ring health** (:func:`check_ring`) — every live node's successor and
+  predecessor match the ground-truth ring order, finger ``i`` points at
+  the true successor of ``n + 2**i``, and key-space ownership partitions
+  the circle (each node owns exactly ``(predecessor, self]``).
+* **Index placement** (:func:`check_index_placement`) — every live
+  (non-expired) MBR sits on a node whose ownership arc intersects the
+  MBR's routing key range, i.e. content-based routing delivered each
+  summary where a range query would look for it.
+* **Message conservation** (:func:`check_message_conservation`) — every
+  physical transmission is accounted for exactly once:
+  ``sends + duplicates + in_flight_at_reset ==
+  receives + drops + in_flight``.
+
+:func:`check_invariants` bundles all three over a
+:class:`~repro.core.system.StreamIndexSystem`; :func:`assert_invariants`
+raises with a readable summary, for tests and the ``--check-invariants``
+CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..chord.ring import ChordRing
+    from ..core.system import StreamIndexSystem
+    from ..sim.network import Network
+
+__all__ = [
+    "Violation",
+    "InvariantReport",
+    "check_ring",
+    "check_index_placement",
+    "check_message_conservation",
+    "check_invariants",
+    "assert_invariants",
+    "InvariantError",
+]
+
+
+class InvariantError(AssertionError):
+    """Raised by :func:`assert_invariants` when a check fails."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant.
+
+    Attributes
+    ----------
+    check:
+        Which checker found it: ``"ring"``, ``"index"``, ``"messages"``.
+    subject:
+        The entity involved, e.g. ``"N1234"`` or ``"stream-3"``.
+    message:
+        What is wrong, with the expected and observed values.
+    """
+
+    check: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.message}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant sweep.
+
+    ``checks_run`` counts individual predicates evaluated, so an
+    all-clear report still shows the sweep did real work.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every evaluated predicate held."""
+        return not self.violations
+
+    def summary(self, limit: int = 20) -> str:
+        """Human-readable multi-line outcome."""
+        if self.ok:
+            return f"invariants OK ({self.checks_run} checks)"
+        head = (
+            f"{len(self.violations)} invariant violation(s) "
+            f"in {self.checks_run} checks:"
+        )
+        lines = [head] + [f"  {v}" for v in self.violations[:limit]]
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# ring health
+# ----------------------------------------------------------------------
+def check_ring(
+    ring: "ChordRing", *, fingers: bool = True
+) -> InvariantReport:
+    """Check every live node's routing state against ring ground truth.
+
+    With ``fingers=False`` only the correctness-critical successor /
+    predecessor / ownership invariants are checked — fingers are an
+    optimisation and legitimately lag behind during active churn.
+    """
+    report = InvariantReport()
+    ids = ring.node_ids
+    n = len(ids)
+    if n == 0:
+        report.checks_run += 1
+        report.violations.append(
+            Violation("ring", "ring", "ring has no live members")
+        )
+        return report
+
+    for idx, node_id in enumerate(ids):
+        node = ring.node(node_id)
+        label = f"N{node_id}"
+        true_succ = ring.node(ids[(idx + 1) % n])
+        true_pred = ring.node(ids[(idx - 1) % n])
+
+        report.checks_run += 1
+        if node.successor is not true_succ:
+            got = f"N{node.successor.node_id}" if node.successor else "None"
+            report.violations.append(
+                Violation(
+                    "ring",
+                    label,
+                    f"successor is {got}, expected N{true_succ.node_id}",
+                )
+            )
+        report.checks_run += 1
+        if node.predecessor is not true_pred:
+            got = f"N{node.predecessor.node_id}" if node.predecessor else "None"
+            report.violations.append(
+                Violation(
+                    "ring",
+                    label,
+                    f"predecessor is {got}, expected N{true_pred.node_id}",
+                )
+            )
+
+        # ownership partition: exactly the arc (predecessor, self]
+        report.checks_run += 1
+        if not node.owns_key(node.node_id):
+            report.violations.append(
+                Violation("ring", label, "node does not own its own identifier")
+            )
+        if n > 1:
+            probe = (true_pred.node_id + 1) % ring.space.size
+            report.checks_run += 1
+            if not node.owns_key(probe):
+                report.violations.append(
+                    Violation(
+                        "ring",
+                        label,
+                        f"node does not own key {probe} at the start of its arc",
+                    )
+                )
+            report.checks_run += 1
+            if node.owns_key(true_pred.node_id):
+                report.violations.append(
+                    Violation(
+                        "ring",
+                        label,
+                        f"node claims key {true_pred.node_id}, owned by its "
+                        "predecessor",
+                    )
+                )
+            report.checks_run += 1
+            if true_succ.owns_key(node.node_id):
+                report.violations.append(
+                    Violation(
+                        "ring",
+                        label,
+                        f"successor N{true_succ.node_id} also claims key "
+                        f"{node.node_id}",
+                    )
+                )
+
+        if fingers:
+            for i in range(ring.space.m):
+                report.checks_run += 1
+                expected = ring.successor_of_key(node.finger_start(i))
+                if node.fingers[i] is not expected:
+                    got = (
+                        f"N{node.fingers[i].node_id}"
+                        if node.fingers[i] is not None
+                        else "None"
+                    )
+                    report.violations.append(
+                        Violation(
+                            "ring",
+                            label,
+                            f"finger[{i}] is {got}, expected "
+                            f"N{expected.node_id}",
+                        )
+                    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# index placement
+# ----------------------------------------------------------------------
+def check_index_placement(
+    system: "StreamIndexSystem", *, now: Optional[float] = None
+) -> InvariantReport:
+    """Check each live MBR sits inside its holder's routed key range.
+
+    Content-based routing (Eq. 6) sends an MBR whose first-coordinate
+    interval maps to keys ``[klow, khigh]`` to every node covering that
+    range; a stored MBR on a node outside the covering set would be
+    invisible to exactly the queries it should answer.  Expired MBRs are
+    ignored: soft state left behind by churn is *expected* to be stale
+    until BSPAN retires it.
+    """
+    report = InvariantReport()
+    now = system.sim.now if now is None else now
+    ring = system.ring
+    for app in system.all_apps:
+        if not app.node.alive:
+            continue
+        holder = app.node
+        for stored in app.index.live_mbrs(now):
+            report.checks_run += 1
+            vlow, vhigh = stored.mbr.first_coordinate_interval
+            klow, khigh = system.mapper.key_range(vlow, vhigh)
+            covering = ring.nodes_covering_range(klow, khigh)
+            if holder not in covering:
+                names = ", ".join(f"N{c.node_id}" for c in covering)
+                report.violations.append(
+                    Violation(
+                        "index",
+                        f"N{holder.node_id}",
+                        f"holds MBR of {stored.mbr.stream_id!r} with key "
+                        f"range [{klow}, {khigh}] covered by [{names}]",
+                    )
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# message conservation
+# ----------------------------------------------------------------------
+def check_message_conservation(network: "Network") -> InvariantReport:
+    """Check that every transmission is accounted exactly once.
+
+    The network's books must balance::
+
+        sends + duplicates + in_flight_at_reset
+            == receives + drops + in_flight_now
+
+    where ``in_flight_at_reset`` covers messages already travelling when
+    ``reset_stats()`` swapped the counters (their receives land in the
+    new ledger without a matching send) and ``in_flight_now`` covers
+    messages still travelling at check time.  An imbalance means some
+    path sends or consumes messages without going through
+    :meth:`Network.hop` — traffic escaping the paper's figures.
+    """
+    report = InvariantReport()
+    stats = network.stats
+    sends = sum(stats.sends_by_kind.values())
+    receives = sum(stats.receives.values())
+    drops = stats.total_drops()
+    duplicates = sum(stats.duplicates_by_kind.values())
+    in_flight = network.in_flight
+    carried = stats.in_flight_at_reset
+
+    report.checks_run += 1
+    lhs = sends + duplicates + carried
+    rhs = receives + drops + in_flight
+    if lhs != rhs:
+        report.violations.append(
+            Violation(
+                "messages",
+                "network",
+                f"conservation broken: sends({sends}) + duplicates"
+                f"({duplicates}) + carried({carried}) = {lhs} but "
+                f"receives({receives}) + drops({drops}) + "
+                f"in_flight({in_flight}) = {rhs}",
+            )
+        )
+    report.checks_run += 1
+    if in_flight < 0:
+        report.violations.append(
+            Violation(
+                "messages", "network", f"negative in-flight count {in_flight}"
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# combined sweep
+# ----------------------------------------------------------------------
+def _merge(into: InvariantReport, part: InvariantReport) -> None:
+    into.violations.extend(part.violations)
+    into.checks_run += part.checks_run
+
+
+def check_invariants(
+    system: "StreamIndexSystem",
+    *,
+    fingers: bool = True,
+    index: bool = True,
+    messages: bool = True,
+) -> InvariantReport:
+    """Run the full invariant sweep over a system.
+
+    The ring must be in (or have been stabilized back to) its converged
+    state; under *active* churn pass ``fingers=False`` and expect index
+    placement to hold only for MBRs published since convergence (stale
+    ones expire within BSPAN — run the system forward before checking).
+    """
+    report = check_ring(system.ring, fingers=fingers)
+    if index:
+        _merge(report, check_index_placement(system))
+    if messages:
+        _merge(report, check_message_conservation(system.network))
+    return report
+
+
+def assert_invariants(
+    system: "StreamIndexSystem", *, fingers: bool = True
+) -> InvariantReport:
+    """Raise :class:`InvariantError` if any invariant fails; else report."""
+    report = check_invariants(system, fingers=fingers)
+    if not report.ok:
+        raise InvariantError(report.summary())
+    return report

@@ -1,0 +1,572 @@
+"""The simlint rule catalog (D001–D006).
+
+Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
+and a path scope.  Rules are registered in :data:`RULES` by the
+``@register`` decorator; the engine (:mod:`repro.analysis.linter`)
+instantiates every applicable rule per file and feeds it the parsed
+tree.  The catalog, with rationale and examples, is documented in
+DESIGN.md §7.
+
+Scopes follow the determinism contract rather than blanket coverage:
+wall-clock and hash-order rules (D002/D003) only bind inside the
+simulated world (``sim``/``chord``/``core``), float-equality (D004)
+inside routing and index math (``chord``/``core``), while RNG hygiene
+(D001), kind registration (D005) and payload-default safety (D006)
+apply everywhere outside test code.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+
+from .findings import Finding
+
+__all__ = ["LintRule", "RULES", "register", "all_rule_codes"]
+
+RULES: Dict[str, Type["LintRule"]] = {}
+
+
+def register(cls: Type["LintRule"]) -> Type["LintRule"]:
+    """Class decorator adding a rule to the :data:`RULES` registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rule_codes() -> List[str]:
+    """Sorted codes of every registered rule."""
+    return sorted(RULES)
+
+
+# ----------------------------------------------------------------------
+# path scoping helpers
+# ----------------------------------------------------------------------
+def _parts(path: str) -> Tuple[str, ...]:
+    return PurePosixPath(path.replace("\\", "/")).parts
+
+
+def is_test_path(path: str) -> bool:
+    """Whether a file is test code (exempt from determinism rules)."""
+    parts = _parts(path)
+    if any(part in ("tests", "test") for part in parts[:-1]):
+        return True
+    name = parts[-1] if parts else ""
+    return name.startswith("test_") or name == "conftest.py"
+
+
+def _in_packages(path: str, packages: Tuple[str, ...]) -> bool:
+    return any(part in packages for part in _parts(path)[:-1])
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for simlint rules.
+
+    Subclasses set ``code``/``title``, override :meth:`applies_to` for
+    their path scope, and call :meth:`report` from ``visit_*`` methods.
+    """
+
+    code = ""
+    title = ""
+
+    def __init__(self, path: str, source_lines: List[str]) -> None:
+        self.path = path
+        self._source_lines = source_lines
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether this rule binds for the given file path."""
+        return not is_test_path(path)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        text = ""
+        if 1 <= line <= len(self._source_lines):
+            text = self._source_lines[line - 1].strip()
+        self.findings.append(
+            Finding(
+                rule=self.code,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                line_text=text,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> Iterator[Finding]:
+        """Visit the tree and yield this rule's findings."""
+        self.visit(tree)
+        return iter(self.findings)
+
+
+# ----------------------------------------------------------------------
+# D001 — raw / global RNG use
+# ----------------------------------------------------------------------
+@register
+class RawRngRule(LintRule):
+    """Randomness must flow through named ``RngRegistry`` substreams.
+
+    ``import random``, ``np.random.seed`` and ad-hoc
+    ``np.random.default_rng(...)`` construction create streams outside
+    the single-root-seed derivation, breaking the "a run is a pure
+    function of (config, seed)" guarantee and the variance isolation
+    the parameter sweeps rely on.  Only :mod:`repro.sim.rng` itself may
+    construct generators.
+    """
+
+    code = "D001"
+    title = "raw RNG construction outside sim/rng.py"
+
+    _BANNED_SUFFIXES = (
+        "np.random.seed",
+        "np.random.default_rng",
+        "np.random.RandomState",
+        "numpy.random.seed",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "random.seed",
+    )
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        # The registry itself is the one sanctioned construction site.
+        return not path.replace("\\", "/").endswith("sim/rng.py")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "import of the global `random` module; draw from a "
+                    "named RngRegistry substream instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "import from the global `random` module; draw from a "
+                "named RngRegistry substream instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for banned in self._BANNED_SUFFIXES:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self.report(
+                        node,
+                        f"call to `{dotted}` constructs an unmanaged RNG; "
+                        "use a named RngRegistry substream",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D002 — wall-clock access inside the simulated world
+# ----------------------------------------------------------------------
+@register
+class WallClockRule(LintRule):
+    """Simulated components must use ``Simulator.now``, never real time.
+
+    A wall-clock read makes behaviour depend on host speed and run
+    timing — the exact nondeterminism a discrete-event simulation
+    exists to remove.
+    """
+
+    code = "D002"
+    title = "wall-clock access in sim/chord/core"
+
+    _BANNED_CALLS = (
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    )
+    _BANNED_FROM_IMPORTS = {
+        "time": {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+        },
+    }
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not is_test_path(path) and _in_packages(
+            path, ("sim", "chord", "core")
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        banned = self._BANNED_FROM_IMPORTS.get(node.module or "", set())
+        for alias in node.names:
+            if alias.name in banned:
+                self.report(
+                    node,
+                    f"import of wall-clock `{node.module}.{alias.name}`; "
+                    "simulated code must use Simulator.now",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for banned in self._BANNED_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self.report(
+                        node,
+                        f"wall-clock call `{dotted}`; simulated code must "
+                        "use Simulator.now",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D003 — hash-order iteration in scheduling-adjacent code
+# ----------------------------------------------------------------------
+@register
+class HashOrderIterationRule(LintRule):
+    """Event ordering must never depend on set iteration order.
+
+    Iterating a ``set``/``frozenset`` yields hash order, which for
+    strings varies per process unless ``PYTHONHASHSEED`` is pinned;
+    scheduling or sending messages in that order silently breaks
+    reproducibility.  Wrap the iterable in ``sorted(...)`` (or keep a
+    list/dict, which preserve insertion order).
+    """
+
+    code = "D003"
+    title = "iteration over a set in scheduling-adjacent code"
+
+    _SET_CALLS = {"set", "frozenset"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not is_test_path(path) and _in_packages(
+            path, ("sim", "chord", "core")
+        )
+
+    def __init__(self, path: str, source_lines: List[str]) -> None:
+        super().__init__(path, source_lines)
+        # name -> is a set, per lexical scope (crude single-pass inference)
+        self._scopes: List[Dict[str, bool]] = [{}]
+
+    # -- scope bookkeeping ---------------------------------------------
+    def _enter_scope(self) -> None:
+        self._scopes.append({})
+
+    def _exit_scope(self) -> None:
+        self._scopes.pop()
+
+    def _mark(self, name: str, is_set: bool) -> None:
+        self._scopes[-1][name] = is_set
+
+    def _is_set_name(self, name: str) -> bool:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    # -- set-expression classification ---------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._SET_CALLS
+        if isinstance(node, ast.Name):
+            return self._is_set_name(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra (| & - ^) keeps set-ness if either side is one
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._mark(target.id, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            ann = node.annotation
+            ann_name = _dotted_name(ann) if not isinstance(ann, ast.Subscript) else (
+                _dotted_name(ann.value)
+            )
+            by_annotation = ann_name is not None and ann_name.rsplit(".", 1)[
+                -1
+            ] in ("set", "Set", "frozenset", "FrozenSet")
+            by_value = node.value is not None and self._is_set_expr(node.value)
+            self._mark(node.target.id, by_annotation or by_value)
+        self.generic_visit(node)
+
+    # -- the actual checks ---------------------------------------------
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        if self._is_set_expr(node):
+            self.report(
+                node,
+                f"{where} iterates a set in hash order; wrap it in "
+                "sorted(...) to fix the ordering",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iterable(gen.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building a *new* set from a set is order-free; only flag when
+        # the result is itself iterated (handled where it is consumed)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D004 — float equality in routing / index math
+# ----------------------------------------------------------------------
+@register
+class FloatEqualityRule(LintRule):
+    """``==``/``!=`` against float literals is a correctness smell.
+
+    Key-range boundaries, distances and rates are accumulated floats;
+    exact comparison makes behaviour depend on summation order and
+    platform rounding.  Compare with a tolerance, or suppress inline
+    when the literal is a genuine sentinel.
+    """
+
+    code = "D004"
+    title = "float == / != comparison in chord/core"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not is_test_path(path) and _in_packages(path, ("chord", "core"))
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            return FloatEqualityRule._is_float_literal(node.operand)
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_float_literal(operands[i]) or self._is_float_literal(
+                operands[i + 1]
+            ):
+                self.report(
+                    node,
+                    "float equality comparison; use a tolerance or an "
+                    "integer/sentinel representation",
+                )
+                break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D005 — message kinds must come from the protocol registry
+# ----------------------------------------------------------------------
+@register
+class UnknownKindRule(LintRule):
+    """Message kinds must be declared in ``core/protocol.py``.
+
+    Every Fig. 6–8 metric is an aggregation over message *kinds*; an
+    invented kind string would flow through :meth:`Network.hop` but fall
+    outside every figure component — traffic silently escaping the
+    paper's accounting.
+    """
+
+    code = "D005"
+    title = "message kind not declared in the protocol registry"
+
+    _KIND_KEYWORDS = ("kind", "transit_kind", "span_kind")
+
+    def __init__(self, path: str, source_lines: List[str]) -> None:
+        super().__init__(path, source_lines)
+        self._module_strs: Dict[str, str] = {}
+
+    @staticmethod
+    def _known_kinds() -> Set[str]:
+        from ..core.protocol import KNOWN_KINDS
+
+        return set(KNOWN_KINDS)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        # module-level NAME = "literal" constants, so `Message(kind=NAME)`
+        # resolves even when the code aliases a kind string
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._module_strs[target.id] = stmt.value.value
+        self.generic_visit(node)
+
+    def _kind_value(self, node: ast.AST) -> Optional[Tuple[str, str]]:
+        """``(kind, how)`` when the expression statically names a kind."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, "literal"
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "KIND"
+        ):
+            from ..core.protocol import KIND
+
+            value = getattr(KIND, node.attr, None)
+            if isinstance(value, str):
+                return value, "attribute"
+            return f"KIND.{node.attr}", "missing-attribute"
+        if isinstance(node, ast.Name) and node.id in self._module_strs:
+            return self._module_strs[node.id], "constant"
+        return None
+
+    def _check_kind_expr(self, node: ast.AST) -> None:
+        resolved = self._kind_value(node)
+        if resolved is None:
+            return
+        kind, how = resolved
+        if how == "missing-attribute":
+            self.report(node, f"`{kind}` is not defined on the KIND registry")
+            return
+        if kind not in self._known_kinds():
+            self.report(
+                node,
+                f"message kind {kind!r} is not declared in "
+                "repro.core.protocol.KNOWN_KINDS; traffic under it would "
+                "escape the paper's accounting",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func_name = _dotted_name(node.func) or ""
+        tail = func_name.rsplit(".", 1)[-1]
+        if tail == "derive" and node.args:
+            # Message.derive(kind, ...) takes the kind positionally
+            self._check_kind_expr(node.args[0])
+        for kw in node.keywords:
+            if kw.arg in self._KIND_KEYWORDS:
+                self._check_kind_expr(kw.value)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D006 — mutable defaults on payload dataclasses
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(LintRule):
+    """Dataclass fields must not share mutable default instances.
+
+    ``dataclasses`` rejects plain ``list``/``dict``/``set`` defaults but
+    happily shares a single ``deque()``, ``Counter()`` or ``np.zeros``
+    instance across every payload — one receiver mutating its message
+    then mutates everyone's.  Use ``field(default_factory=...)``.
+    """
+
+    code = "D006"
+    title = "mutable default on a dataclass field"
+
+    _IMMUTABLE_CALLS = {"float", "int", "str", "bool", "bytes", "tuple", "frozenset"}
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted_name(target) or ""
+            if name.rsplit(".", 1)[-1] == "dataclass":
+                return True
+        return False
+
+    def _flag_default(self, stmt: ast.AnnAssign, value: ast.AST) -> None:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            self.report(stmt, "mutable literal default; use field(default_factory=...)")
+            return
+        if isinstance(value, ast.Call):
+            name = _dotted_name(value.func) or ""
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "field":
+                for kw in value.keywords:
+                    if kw.arg == "default" and (
+                        isinstance(kw.value, (ast.List, ast.Dict, ast.Set, ast.Call))
+                    ):
+                        self.report(
+                            stmt,
+                            "field(default=...) with a mutable value; use "
+                            "field(default_factory=...)",
+                        )
+                return
+            if tail not in self._IMMUTABLE_CALLS:
+                self.report(
+                    stmt,
+                    f"default constructed by `{name}()` is shared across "
+                    "instances; use field(default_factory=...)",
+                )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_dataclass(node):
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    self._flag_default(stmt, stmt.value)
+        self.generic_visit(node)

@@ -13,7 +13,7 @@ import io
 from pathlib import Path
 from typing import Dict, Sequence, Union
 
-__all__ = ["series_to_csv", "run_to_csv"]
+__all__ = ["series_to_csv", "run_to_csv", "stats_to_csv_string"]
 
 PathLike = Union[str, Path]
 
@@ -67,6 +67,48 @@ def run_to_csv(path: PathLike, run) -> Path:
             for metric, value in summary[section].items():
                 writer.writerow([section, metric, value])
     return path
+
+
+def stats_to_csv_string(stats) -> str:
+    """Dump every :class:`~repro.sim.network.MessageStats` counter as CSV.
+
+    Rows are ``counter,key,value`` with keys sorted, so two runs produce
+    byte-identical output exactly when their message accounting is
+    identical — the comparison the determinism regression test makes.
+    Float values are written with ``repr`` (shortest exact form), so
+    even latency sums must match bit-for-bit.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["counter", "key", "value"])
+
+    counters = [
+        ("sends", stats.sends),
+        ("receives", stats.receives),
+        ("sends_by_kind", stats.sends_by_kind),
+        ("originations", stats.originations),
+        ("drops_per_kind", stats.drops_per_kind),
+        ("duplicates_by_kind", stats.duplicates_by_kind),
+        ("duplicates_suppressed", stats.duplicates_suppressed),
+        ("retransmissions", stats.retransmissions),
+        ("dead_letters", stats.dead_letters),
+        ("reliable_sends", stats.reliable_sends),
+        ("reliable_acked", stats.reliable_acked),
+        ("reliable_cancelled", stats.reliable_cancelled),
+        ("unknown_payloads", stats.unknown_payloads),
+    ]
+    for name, counter in counters:
+        for key in sorted(counter, key=repr):
+            writer.writerow([name, repr(key), counter[key]])
+    for name, table in (
+        ("hops_by_kind", stats.hops_by_kind),
+        ("latency_by_kind", stats.latency_by_kind),
+    ):
+        for kind in sorted(table):
+            total, count = table[kind]
+            writer.writerow([name, kind, f"{total!r}/{count!r}"])
+    writer.writerow(["meta", "in_flight_at_reset", stats.in_flight_at_reset])
+    return buf.getvalue()
 
 
 def series_to_csv_string(x_label: str, xs, series) -> str:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..sim.rng import RngRegistry
 from .ring import ChordRing
 from .routing import lookup_path
 
@@ -115,7 +116,8 @@ class RingAnalyzer:
         """Lookup path lengths from random (start, key) probes."""
         if samples < 1:
             raise ValueError("need at least one sample")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            rng = RngRegistry(0).get("ring-analysis/path-profile")
         nodes = list(self.ring)
         lengths: List[int] = []
         for _ in range(samples):

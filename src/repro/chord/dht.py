@@ -88,7 +88,7 @@ class DhtOverlay:
         locally without network traffic.
         """
         base_kind = msg.kind
-        msg.born = self.network.sim.now if msg.born == 0.0 else msg.born
+        msg.born = self.network.sim.now if msg.born == 0.0 else msg.born  # simlint: disable=D004 (0.0 is the unset sentinel)
 
         def step(node: ChordNode, m: Message, first: bool) -> None:
             if not node.alive:
@@ -124,7 +124,7 @@ class DhtOverlay:
         for replies to nodes learned from a previous message.
         """
         base_kind = msg.kind
-        msg.born = self.network.sim.now if msg.born == 0.0 else msg.born
+        msg.born = self.network.sim.now if msg.born == 0.0 else msg.born  # simlint: disable=D004 (0.0 is the unset sentinel)
         if dst is src:
             self._deliver(dst, msg, base_kind, on_delivered)
             return

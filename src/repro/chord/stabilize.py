@@ -238,7 +238,7 @@ class Stabilizer:
         for round_no in range(1, max_rounds + 1):
             for node in list(self.ring):
                 self._maintain(node)
-            if self._is_converged():
+            if self.is_converged():
                 for node in self.ring:
                     self.fix_all_fingers(node)
                 return round_no
@@ -251,7 +251,13 @@ class Stabilizer:
             )
         raise RuntimeError(f"stabilization did not converge in {max_rounds} rounds")
 
-    def _is_converged(self) -> bool:
+    def is_converged(self) -> bool:
+        """Whether every successor/predecessor matches ring ground truth.
+
+        The hook the invariant checker (and tests) use to decide when a
+        churned ring is back in its exact state; fingers are not
+        consulted (they are an optimisation, repaired lazily).
+        """
         ids = self.ring.node_ids
         n = len(ids)
         for idx, node_id in enumerate(ids):

@@ -97,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="soft-state refresh period in seconds (0 disables healing)",
     )
     lossy.add_argument("--seed", type=int, default=7)
+    lossy.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="after the run, stabilize the ring and verify the ring / "
+        "index-placement / message-conservation invariants "
+        "(exit 1 on violation)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: static determinism & protocol checks (DESIGN.md §7)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint.add_argument(
+        "--baseline",
+        default="simlint-baseline.txt",
+        help="baseline file of grandfathered findings",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
 
     rs = sub.add_parser("ring-stats", help="Chord ring diagnostics")
     rs.add_argument("--nodes", type=int, default=100)
@@ -357,6 +382,60 @@ def cmd_lossy(args, out) -> int:
         ),
         file=out,
     )
+    if getattr(args, "check_invariants", False):
+        return _settle_and_check(system, out)
+    return 0
+
+
+def _settle_and_check(system, out) -> int:
+    """Stabilize, let churn-era soft state expire, then sweep invariants.
+
+    MBRs published while the ring was churning may sit on nodes that are
+    no longer their owners; that is expected soft-state staleness, healed
+    by BSPAN expiry plus refresh.  So: converge the ring first, then run
+    one lifespan (plus slack) of simulated time so the stale entries
+    expire while fresh publishes land on the exact ring — after which
+    every invariant must hold.
+    """
+    from .analysis import check_invariants
+
+    if system.stabilizer is not None:
+        try:
+            rounds = system.stabilizer.stabilize_until_converged()
+            print(f"ring converged in {rounds} stabilization round(s)", file=out)
+        except RuntimeError as exc:
+            print(f"invariants FAILED: {exc}", file=out)
+            return 1
+    system.run(system.config.workload.bspan_ms + 1_000.0)
+    report = check_invariants(system)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
+def cmd_lint(args, out) -> int:
+    from .analysis import (
+        format_finding,
+        lint_paths,
+        load_baseline,
+        split_baselined,
+        write_baseline,
+    )
+
+    findings = lint_paths(args.paths)
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline}", file=out
+        )
+        return 0
+    fresh, grandfathered = split_baselined(findings, load_baseline(args.baseline))
+    for finding in fresh:
+        print(format_finding(finding), file=out)
+    suffix = f" ({len(grandfathered)} baselined)" if grandfathered else ""
+    if fresh:
+        print(f"simlint: {len(fresh)} finding(s){suffix}", file=out)
+        return 1
+    print(f"simlint: clean{suffix}", file=out)
     return 0
 
 
@@ -398,6 +477,7 @@ _COMMANDS = {
     "distribution": cmd_distribution,
     "baselines": cmd_baselines,
     "lossy": cmd_lossy,
+    "lint": cmd_lint,
     "ring-stats": cmd_ring_stats,
 }
 

@@ -32,14 +32,16 @@ import numpy as np
 
 from ..sim.network import Message, Network
 from .mbr import MBR
+from .protocol import KIND
 
 __all__ = ["Cluster", "ClusterHierarchy", "HierarchicalIndex"]
 
 #: message kinds of the hierarchy traffic (kept distinct from the flat
-#: middleware's so combined experiments remain separable)
-H_UPDATE = "hier_update"
-H_QUERY = "hier_query"
-H_RESPONSE = "hier_response"
+#: middleware's so combined experiments remain separable; declared in
+#: the :mod:`repro.core.protocol` registry like every other kind)
+H_UPDATE = KIND.HIER_UPDATE
+H_QUERY = KIND.HIER_QUERY
+H_RESPONSE = KIND.HIER_RESPONSE
 
 
 @dataclass

@@ -21,6 +21,8 @@ from .queries import InnerProductQuery
 
 __all__ = [
     "KIND",
+    "KNOWN_KINDS",
+    "is_known_kind",
     "MbrPublish",
     "SimilaritySubscribe",
     "RegisterStream",
@@ -70,10 +72,13 @@ class KIND:
     REGISTER_TRANSIT overlay forwards of registrations
     ============== =====================================================
 
-    The Sec. VI-B hierarchy uses its own kinds (``hier_update``,
-    ``hier_query``, ``hier_response``; see
+    The Sec. VI-B hierarchy uses its own kinds (``HIER_UPDATE``,
+    ``HIER_QUERY``, ``HIER_RESPONSE``; used by
     :mod:`repro.core.hierarchy`) so its traffic stays separable from
-    the flat middleware's figure components.
+    the flat middleware's figure components, but they are declared here
+    so that *every* accounting category the system can emit is visible
+    in one registry (:data:`KNOWN_KINDS`) — the simlint D005 rule
+    rejects message kinds that are not.
     """
 
     MBR = "mbr"
@@ -90,6 +95,28 @@ class KIND:
     REGISTER_TRANSIT = "register_transit"
     ACK = "ack"
     ACK_TRANSIT = "ack_transit"
+    HIER_UPDATE = "hier_update"
+    HIER_QUERY = "hier_query"
+    HIER_RESPONSE = "hier_response"
+
+
+KNOWN_KINDS = frozenset(
+    value
+    for name, value in vars(KIND).items()
+    if not name.startswith("_") and isinstance(value, str)
+)
+"""Every message kind the system may put on the wire.
+
+This is the accounting contract behind the paper's Fig. 6-8 metrics:
+all traffic flows through :meth:`repro.sim.network.Network.hop` under
+one of these kinds, so no message can dodge the per-kind counters.  The
+``simlint`` D005 rule statically rejects kind literals outside this set.
+"""
+
+
+def is_known_kind(kind: str) -> bool:
+    """Whether ``kind`` is a declared accounting category."""
+    return kind in KNOWN_KINDS
 
 
 @dataclass

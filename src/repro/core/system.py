@@ -137,11 +137,7 @@ class StreamIndexSystem:
     @staticmethod
     def _plan_from_config(cfg: MiddlewareConfig) -> Optional[FaultPlan]:
         """Build a fault plan from the convenience config knobs."""
-        if (
-            cfg.loss_rate == 0.0
-            and cfg.duplicate_rate == 0.0
-            and cfg.delay_jitter_ms == 0.0
-        ):
+        if not (cfg.loss_rate or cfg.duplicate_rate or cfg.delay_jitter_ms):
             return None
         delay = None
         if cfg.delay_jitter_ms > 0.0:
@@ -306,8 +302,14 @@ class StreamIndexSystem:
         self.run(fill + extra_ms)
 
     def reset_stats(self) -> None:
-        """Discard all message counters (start of the measured interval)."""
+        """Discard all message counters (start of the measured interval).
+
+        Messages still travelling keep flying and will be received into
+        the fresh ledger; recording their count lets the message
+        conservation invariant balance across the reset.
+        """
         self.network.stats = MessageStats()
+        self.network.stats.in_flight_at_reset = self.network.in_flight
 
     def pending_reliable(self) -> int:
         """Reliable sends still inside their retry schedule, system-wide."""

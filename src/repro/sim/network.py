@@ -22,10 +22,13 @@ from __future__ import annotations
 import itertools
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from .engine import Simulator
 from .faults import DROP_DEAD_DEST, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tracing import MessageTracer
 
 __all__ = ["Message", "MessageStats", "Network", "DEFAULT_HOP_DELAY_MS"]
 
@@ -144,6 +147,11 @@ class MessageStats:
         self.reliable_cancelled: Counter[str] = Counter()
         #: delivered payloads no handler recognised, per message kind
         self.unknown_payloads: Counter[str] = Counter()
+        #: messages already in flight when this ledger was installed
+        #: (their receives/drops land here without a matching send);
+        #: set by ``StreamIndexSystem.reset_stats`` so the conservation
+        #: equation balances across a counter reset
+        self.in_flight_at_reset: int = 0
 
     # -- recording -----------------------------------------------------
     def record_send(self, node: int, kind: str) -> None:
@@ -296,7 +304,7 @@ class Network:
         *,
         hop_delay_ms: float = DEFAULT_HOP_DELAY_MS,
         stats: Optional[MessageStats] = None,
-        tracer=None,
+        tracer: Optional["MessageTracer"] = None,
         injector: Optional[FaultInjector] = None,
         liveness: Optional[Callable[[int], bool]] = None,
     ) -> None:
@@ -312,6 +320,11 @@ class Network:
         #: arriving at a node that died while they were in flight are
         #: dropped (and counted) instead of invoking its handlers
         self.liveness = liveness
+        #: physical copies currently travelling (scheduled but not yet
+        #: arrived); with ``stats.in_flight_at_reset`` this closes the
+        #: conservation equation checked by
+        #: :func:`repro.analysis.invariants.check_message_conservation`
+        self.in_flight = 0
 
     def hop(
         self,
@@ -348,17 +361,20 @@ class Network:
             dup_delay = None
 
         def _arrive(m: Message) -> None:
+            self.in_flight -= 1
             if self.liveness is not None and not self.liveness(dst):
                 self.stats.record_drop(m.kind, DROP_DEAD_DEST)
                 return
             self.stats.record_receive(dst, m.kind)
             on_arrival(m)
 
+        self.in_flight += 1
         self.sim.schedule(delay, _arrive, msg)
         if dup_delay is not None:
             # The copy keeps msg_id/root_id (it *is* the same logical
             # message) but routes independently from here on.
             self.stats.record_duplicate(msg.kind)
+            self.in_flight += 1
             self.sim.schedule(dup_delay, _arrive, replace(msg))
 
     def record_delivery(self, node: int, msg: Message) -> None:

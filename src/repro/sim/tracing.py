@@ -12,11 +12,19 @@ of messages and keep only counters.
 
 from __future__ import annotations
 
+import csv
+import io
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional, Set
+from pathlib import Path
+from typing import TYPE_CHECKING, Deque, Iterable, List, Optional, Set, Union
 
-__all__ = ["TraceEvent", "MessageTracer"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Message
+
+__all__ = ["TraceEvent", "MessageTracer", "events_from_csv"]
+
+_CSV_COLUMNS = ("time", "event", "src", "dst", "kind", "msg_id", "root_id", "hops")
 
 
 @dataclass(frozen=True)
@@ -64,15 +72,15 @@ class MessageTracer:
         return len(self._events)
 
     # ------------------------------------------------------------------
-    def record_send(self, time: float, src: int, dst: int, msg) -> None:
+    def record_send(self, time: float, src: int, dst: int, msg: "Message") -> None:
         """Record one physical transmission (called by the network)."""
         self._record(time, "send", src, dst, msg)
 
-    def record_deliver(self, time: float, node: int, msg) -> None:
+    def record_deliver(self, time: float, node: int, msg: "Message") -> None:
         """Record final delivery of a logical message."""
         self._record(time, "deliver", node, node, msg)
 
-    def _record(self, time: float, event: str, src: int, dst: int, msg) -> None:
+    def _record(self, time: float, event: str, src: int, dst: int, msg: "Message") -> None:
         if self._kinds is not None and msg.kind not in self._kinds:
             self.dropped += 1
             return
@@ -141,3 +149,58 @@ class MessageTracer:
         """Drop all recorded events."""
         self._events.clear()
         self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_csv_string(self) -> str:
+        """Render all recorded events as CSV text (header + one row each).
+
+        The format round-trips through :func:`events_from_csv`, so traces
+        can be saved, diffed across runs, and reloaded for analysis.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(_CSV_COLUMNS)
+        for e in self._events:
+            writer.writerow(
+                [repr(e.time), e.event, e.src, e.dst, e.kind, e.msg_id, e.root_id, e.hops]
+            )
+        return buf.getvalue()
+
+    def export_csv(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`to_csv_string` to a file; returns the path."""
+        p = Path(path)
+        p.write_text(self.to_csv_string())
+        return p
+
+
+def events_from_csv(text: str) -> List[TraceEvent]:
+    """Parse CSV produced by :meth:`MessageTracer.to_csv_string`.
+
+    Raises
+    ------
+    ValueError
+        If the header does not match the trace schema.
+    """
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or tuple(rows[0]) != _CSV_COLUMNS:
+        raise ValueError(f"not a trace CSV (expected header {_CSV_COLUMNS})")
+    out: List[TraceEvent] = []
+    for row in rows[1:]:
+        if not row:
+            continue
+        time_s, event, src, dst, kind, msg_id, root_id, hops = row
+        out.append(
+            TraceEvent(
+                time=float(time_s),
+                event=event,
+                src=int(src),
+                dst=int(dst),
+                kind=kind,
+                msg_id=int(msg_id),
+                root_id=int(root_id),
+                hops=int(hops),
+            )
+        )
+    return out

@@ -16,6 +16,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..sim.rng import RngRegistry
 from .generators import HostLoadGenerator, StockGenerator
 
 __all__ = ["StockDataset", "synthetic_sp500", "synthetic_host_load"]
@@ -87,15 +88,15 @@ def synthetic_sp500(
     """
     if n_stocks <= 0 or n_days <= 0:
         raise ValueError("n_stocks and n_days must be positive")
-    root = np.random.default_rng(seed)
-    market = root.normal(0.0, 0.004, size=n_days)
+    rngs = RngRegistry(seed)
+    market = rngs.get("sp500/market").normal(0.0, 0.004, size=n_days)
     sector_factors = [
-        np.random.default_rng([seed, 104729, s]).normal(0.0, 0.012, size=n_days)
+        rngs.fork("sp500/sector", s).normal(0.0, 0.012, size=n_days)
         for s in range(n_sectors)
     ]
     records: Dict[str, np.ndarray] = {}
     for i in range(n_stocks):
-        rng = np.random.default_rng([seed, i])
+        rng = rngs.fork("sp500/stock", i)
         sector = i % n_sectors
         beta = float(rng.uniform(0.8, 1.2))
         gen = StockGenerator(
@@ -130,9 +131,10 @@ def synthetic_host_load(
     """
     if n_hosts <= 0 or length <= 0:
         raise ValueError("n_hosts and length must be positive")
+    rngs = RngRegistry(seed)
     out: Dict[str, np.ndarray] = {}
     for i in range(n_hosts):
-        rng = np.random.default_rng([seed, 7919, i])
+        rng = rngs.fork("hostload", i)
         gen = HostLoadGenerator(
             rng,
             mean_load=float(rng.uniform(0.3, 2.0)),

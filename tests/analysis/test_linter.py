@@ -1,0 +1,201 @@
+"""Engine-level tests: suppressions, baselines, and the lint CLI."""
+
+import io
+import textwrap
+
+from repro.analysis import (
+    fingerprint,
+    lint_paths,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from repro.analysis.linter import collect_files, lint_file
+from repro.cli import main
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+VIOLATION = "import numpy as np\nrng = np.random.default_rng(0)\n"
+
+
+# ------------------------------------------------------------ engine
+def test_collect_files_skips_caches(tmp_path):
+    keep = write(tmp_path, "pkg/mod.py", "x = 1\n")
+    write(tmp_path, "pkg/__pycache__/mod.cpython-312.py", "x = 1\n")
+    write(tmp_path, "pkg/.hidden/secret.py", "x = 1\n")
+    write(tmp_path, "pkg/data.txt", "not python\n")
+    assert collect_files([tmp_path]) == [keep]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = write(tmp_path, "pkg/broken.py", "def f(:\n")
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["E000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_findings_sorted_across_files(tmp_path):
+    write(tmp_path, "b/late.py", VIOLATION)
+    write(tmp_path, "a/early.py", VIOLATION)
+    findings = lint_paths([tmp_path])
+    assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+
+# ------------------------------------------------------------ suppressions
+def test_inline_suppression_silences_one_line(tmp_path):
+    path = write(
+        tmp_path,
+        "pkg/mod.py",
+        """\
+        import numpy as np
+        a = np.random.default_rng(0)  # simlint: disable=D001
+        b = np.random.default_rng(1)
+        """,
+    )
+    findings = lint_file(path)
+    assert [f.line for f in findings] == [3]
+
+
+def test_file_level_suppression(tmp_path):
+    path = write(
+        tmp_path,
+        "pkg/mod.py",
+        """\
+        # simlint: disable-file=D001
+        import numpy as np
+        a = np.random.default_rng(0)
+        b = np.random.default_rng(1)
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_suppress_all_and_trailing_commentary(tmp_path):
+    path = write(
+        tmp_path,
+        "pkg/mod.py",
+        """\
+        import numpy as np
+        a = np.random.default_rng(0)  # simlint: disable=all
+        b = np.random.default_rng(1)  # simlint: disable=D001 (vendored)
+        """,
+    )
+    assert lint_file(path) == []
+
+
+def test_suppression_marker_in_string_is_inert(tmp_path):
+    path = write(
+        tmp_path,
+        "pkg/mod.py",
+        '''\
+        import numpy as np
+        a = np.random.default_rng(0); s = "# simlint: disable=D001"
+        ''',
+    )
+    assert [f.rule for f in lint_file(path)] == ["D001"]
+
+
+def test_suppressing_other_rule_does_not_silence(tmp_path):
+    path = write(
+        tmp_path,
+        "pkg/mod.py",
+        """\
+        import numpy as np
+        a = np.random.default_rng(0)  # simlint: disable=D004
+        """,
+    )
+    assert [f.rule for f in lint_file(path)] == ["D001"]
+
+
+# ------------------------------------------------------------ baselines
+def test_baseline_round_trip(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/mod.py", VIOLATION)
+    findings = lint_paths(["pkg"])
+    assert findings
+    baseline_path = tmp_path / "baseline.txt"
+    write_baseline(findings, baseline_path)
+    fresh, grandfathered = split_baselined(
+        lint_paths(["pkg"]), load_baseline(baseline_path)
+    )
+    assert fresh == []
+    assert len(grandfathered) == len(findings)
+
+
+def test_baseline_is_line_number_independent(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/mod.py", VIOLATION)
+    baseline = load_baseline(tmp_path / "nope.txt")
+    assert not baseline  # missing file = empty baseline
+    findings = lint_paths(["pkg"])
+    write_baseline(findings, tmp_path / "baseline.txt")
+    # shift the finding down two lines: same text, so still grandfathered
+    write(tmp_path, "pkg/mod.py", "# a comment\n\n" + VIOLATION)
+    fresh, grandfathered = split_baselined(
+        lint_paths(["pkg"]), load_baseline(tmp_path / "baseline.txt")
+    )
+    assert fresh == [] and len(grandfathered) == 1
+
+
+def test_baseline_is_a_multiset(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # two identical violations on identical lines, one baselined entry:
+    # the second occurrence must stay fresh
+    write(
+        tmp_path,
+        "pkg/mod.py",
+        "import numpy as np\nr = np.random.default_rng(0)\nr = np.random.default_rng(0)\n",
+    )
+    findings = lint_paths(["pkg"])
+    assert len(findings) == 2
+    assert fingerprint(findings[0]) == fingerprint(findings[1])
+    write_baseline(findings[:1], tmp_path / "baseline.txt")
+    fresh, grandfathered = split_baselined(
+        findings, load_baseline(tmp_path / "baseline.txt")
+    )
+    assert len(fresh) == 1 and len(grandfathered) == 1
+
+
+# ------------------------------------------------------------ CLI
+def test_cli_lint_clean_exits_zero(tmp_path):
+    write(tmp_path, "pkg/clean.py", "x = 1\n")
+    out = io.StringIO()
+    code = main(["lint", str(tmp_path / "pkg")], out=out)
+    assert code == 0
+    assert "clean" in out.getvalue()
+
+
+def test_cli_lint_seeded_violation_exits_nonzero(tmp_path):
+    write(tmp_path, "pkg/bad.py", VIOLATION)
+    out = io.StringIO()
+    code = main(
+        ["lint", str(tmp_path / "pkg"), "--baseline", str(tmp_path / "b.txt")],
+        out=out,
+    )
+    assert code == 1
+    assert "D001" in out.getvalue()
+
+
+def test_cli_write_baseline_then_clean(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/bad.py", VIOLATION)
+    baseline = str(tmp_path / "b.txt")
+    assert main(["lint", "pkg", "--baseline", baseline, "--write-baseline"],
+                out=io.StringIO()) == 0
+    out = io.StringIO()
+    assert main(["lint", "pkg", "--baseline", baseline], out=out) == 0
+    assert "baselined" in out.getvalue()
+
+
+def test_repo_source_tree_is_clean():
+    # The committed baseline is empty: src/ must lint clean as-is.
+    import repro
+
+    src_root = repro.__file__.rsplit("/", 2)[0]
+    assert lint_paths([src_root]) == []

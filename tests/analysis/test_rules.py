@@ -1,0 +1,241 @@
+"""Positive and negative cases for every simlint rule (D001–D006)."""
+
+import textwrap
+
+from repro.analysis.linter import lint_file
+from repro.analysis.rules import RULES, all_rule_codes, is_test_path
+
+
+def run_lint(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path)
+
+
+def codes(findings):
+    return sorted(f.rule for f in findings)
+
+
+def test_registry_is_complete():
+    assert all_rule_codes() == ["D001", "D002", "D003", "D004", "D005", "D006"]
+    assert set(RULES) == set(all_rule_codes())
+
+
+def test_test_path_detection():
+    assert is_test_path("tests/sim/test_engine.py")
+    assert is_test_path("pkg/test_foo.py")
+    assert is_test_path("tests/conftest.py")
+    assert not is_test_path("src/repro/sim/engine.py")
+    assert not is_test_path("src/repro/analysis/contest.py")
+
+
+# ---------------------------------------------------------------- D001
+def test_d001_flags_raw_rng(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "streams/gen.py",
+        """\
+        import random
+        import numpy as np
+        rng = np.random.default_rng(3)
+        np.random.seed(0)
+        """,
+    )
+    assert codes(findings) == ["D001", "D001", "D001"]
+
+
+def test_d001_allows_registry_and_tests(tmp_path):
+    clean = """\
+        from repro.sim.rng import RngRegistry
+        rng = RngRegistry(0).get("queries")
+        """
+    assert run_lint(tmp_path, "streams/clean.py", clean) == []
+    raw = "import numpy as np\nrng = np.random.default_rng(0)\n"
+    # the registry module itself and test code may construct generators
+    assert run_lint(tmp_path, "sim/rng.py", raw) == []
+    assert run_lint(tmp_path, "tests/test_thing.py", raw) == []
+
+
+# ---------------------------------------------------------------- D002
+def test_d002_flags_wall_clock(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "sim/engine.py",
+        """\
+        import time
+        from time import perf_counter
+        t = time.time()
+        """,
+    )
+    assert codes(findings) == ["D002", "D002"]  # the import-from and the call
+
+
+def test_d002_scoped_to_simulated_world(tmp_path):
+    source = "import time\nt = time.time()\n"
+    assert codes(run_lint(tmp_path, "chord/x.py", source)) == ["D002"]
+    # bench/tooling code may time itself
+    assert run_lint(tmp_path, "bench/x.py", source) == []
+    assert run_lint(tmp_path, "sim/now.py", "def f(sim):\n    return sim.now\n") == []
+
+
+# ---------------------------------------------------------------- D003
+def test_d003_flags_set_iteration(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/sched.py",
+        """\
+        def f(items):
+            pending = {1, 2, 3}
+            for x in pending:
+                pass
+            return [y for y in set(items)]
+        """,
+    )
+    assert codes(findings) == ["D003", "D003"]
+
+
+def test_d003_allows_sorted_and_lists(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/sched.py",
+            """\
+            def f(items):
+                pending = {1, 2, 3}
+                for x in sorted(pending):
+                    pass
+                for y in list(items):
+                    pass
+            """,
+        )
+        == []
+    )
+
+
+# ---------------------------------------------------------------- D004
+def test_d004_flags_float_equality(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "chord/route.py",
+        """\
+        def f(x):
+            if x == 0.5 or x != -1.5:
+                return True
+            return 0.5 == x != 2.5
+        """,
+    )
+    # one finding per Compare node: two in the BoolOp, one for the chain
+    assert codes(findings) == ["D004", "D004", "D004"]
+
+
+def test_d004_allows_int_and_tolerance(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/math.py",
+            """\
+            def f(x):
+                return x == 0 or abs(x - 0.5) < 1e-9
+            """,
+        )
+        == []
+    )
+    # out of scope: float equality in analysis/report code
+    assert (
+        run_lint(tmp_path, "bench/report.py", "ok = 1.0 == 1.0\n") != []
+    ) is False
+
+
+# ---------------------------------------------------------------- D005
+def test_d005_flags_unregistered_kind(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/thing.py",
+        """\
+        BOGUS = "made_up_kind"
+
+        def f(Message, msg):
+            a = Message(kind="another_fake", payload=None, origin=0, dest_key=0)
+            b = msg.derive("rogue_kind")
+            c = Message(kind=BOGUS, payload=None, origin=0, dest_key=0)
+            return a, b, c
+        """,
+    )
+    assert codes(findings) == ["D005", "D005", "D005"]
+
+
+def test_d005_allows_registered_and_dynamic_kinds(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/thing.py",
+            """\
+            from repro.core.protocol import KIND
+
+            def f(Message, msg, dynamic):
+                a = Message(kind="mbr", payload=None, origin=0, dest_key=0)
+                b = Message(kind=KIND.QUERY, payload=None, origin=0, dest_key=0)
+                c = msg.derive(KIND.MBR_SPAN)
+                d = Message(kind=dynamic, payload=None, origin=0, dest_key=0)
+                return a, b, c, d
+            """,
+        )
+        == []
+    )
+
+
+def test_d005_flags_missing_kind_attribute(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/thing.py",
+        """\
+        from repro.core.protocol import KIND
+
+        def f(Message):
+            return Message(kind=KIND.NO_SUCH_KIND, payload=None, origin=0, dest_key=0)
+        """,
+    )
+    assert codes(findings) == ["D005"]
+
+
+# ---------------------------------------------------------------- D006
+def test_d006_flags_shared_mutable_defaults(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/payloads.py",
+        """\
+        from collections import deque
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Payload:
+            history: object = deque()
+            tags: list = []
+            pinned: object = field(default=[])
+        """,
+    )
+    assert codes(findings) == ["D006", "D006", "D006"]
+
+
+def test_d006_allows_factories_and_immutables(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/payloads.py",
+            """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Payload:
+                value: float = float("nan")
+                name: str = ""
+                items: list = field(default_factory=list)
+                pair: tuple = tuple()
+
+            class NotADataclass:
+                shared = []
+            """,
+        )
+        == []
+    )

@@ -1,0 +1,38 @@
+"""Shared integration fixtures: automatic invariant sweeps.
+
+Any integration test can take the ``invariant_check`` fixture and
+register the systems it builds; at teardown every registered system is
+swept with :func:`repro.analysis.check_invariants`, so each registered
+scenario doubles as a regression test for ring health, index placement
+and message conservation — without cluttering the test body.
+"""
+
+import pytest
+
+from repro.analysis import check_invariants
+
+
+@pytest.fixture
+def invariant_check():
+    """Register systems for a full invariant sweep at test teardown.
+
+    Usage::
+
+        def test_something(invariant_check):
+            system = invariant_check(build_my_system())
+            ...  # the sweep runs after the test body finishes
+
+    Pass ``fingers=False`` for systems still churning at teardown
+    (fingers are repaired lazily and may legitimately lag).
+    """
+    registered = []
+
+    def register(system, *, fingers=True):
+        registered.append((system, fingers))
+        return system
+
+    yield register
+
+    for system, fingers in registered:
+        report = check_invariants(system, fingers=fingers)
+        assert report.ok, report.summary()

@@ -35,8 +35,9 @@ def run_scenario(seed=111, measure_ms=15_000.0):
     return system, workload
 
 
-def test_steady_state_invariants():
+def test_steady_state_invariants(invariant_check):
     system, workload = run_scenario()
+    invariant_check(system)  # full analysis sweep at teardown, too
     now = system.sim.now
     wl = system.config.workload
 
@@ -110,8 +111,9 @@ def test_aggregator_seen_supersets_client_results():
                 assert {m.stream_id for m in matches} <= agg_seen[qid]
 
 
-def test_load_roughly_balanced_at_scale():
+def test_load_roughly_balanced_at_scale(invariant_check):
     system, _ = run_scenario(seed=113, measure_ms=10_000.0)
+    invariant_check(system)
     loads = np.array(sorted(system.network.stats.load_by_node().values()))
     assert len(loads) >= N - 1  # essentially every node touched traffic
     # no node is a runaway hotspot (an order of magnitude above median)

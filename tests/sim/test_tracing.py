@@ -133,3 +133,62 @@ def test_clear():
     tracer.clear()
     assert len(tracer) == 0
     assert tracer.dropped == 0
+
+
+def test_events_in_event_order():
+    # The tracer must reflect simulator event order: the recorded stream
+    # is nondecreasing in time even with interleaved logical messages.
+    sim, tracer, net, ring, overlay = traced_overlay()
+    for origin, dest in ((8, 26), (1, 13), (23, 2), (14, 22)):
+        overlay.route(
+            ring.node(origin),
+            Message(kind="mbr", payload=None, origin=origin, dest_key=dest),
+            transit_kind="mbr_transit",
+        )
+    sim.run()
+    events = tracer.events()
+    assert len(events) > 4
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    # sends precede the delivery of the same logical message
+    for delivered in tracer.events(event="deliver"):
+        sends = [
+            e for e in tracer.journey(delivered.root_id) if e.event == "send"
+        ]
+        assert sends and max(e.time for e in sends) <= delivered.time
+
+
+def test_csv_round_trip():
+    from repro.sim.tracing import events_from_csv
+
+    sim, tracer, net, ring, overlay = traced_overlay()
+    overlay.route(
+        ring.node(8),
+        Message(kind="mbr", payload=None, origin=8, dest_key=26),
+        transit_kind="mbr_transit",
+    )
+    sim.run()
+    text = tracer.to_csv_string()
+    parsed = events_from_csv(text)
+    assert parsed == tracer.events()
+
+
+def test_csv_export_file_round_trip(tmp_path):
+    from repro.sim.tracing import events_from_csv
+
+    sim, tracer, net, ring, overlay = traced_overlay()
+    overlay.route(
+        ring.node(8),
+        Message(kind="query", payload=None, origin=8, dest_key=13),
+        transit_kind="query_transit",
+    )
+    sim.run()
+    path = tracer.export_csv(tmp_path / "trace.csv")
+    assert events_from_csv(path.read_text()) == tracer.events()
+
+
+def test_csv_rejects_foreign_header():
+    from repro.sim.tracing import events_from_csv
+
+    with pytest.raises(ValueError):
+        events_from_csv("a,b,c\n1,2,3\n")
