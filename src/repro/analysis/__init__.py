@@ -10,12 +10,14 @@ Two halves, one contract (DESIGN.md §7):
   iteration in scheduling-adjacent code (D003), no float ``==`` in
   routing/index math (D004), no message kinds outside the
   :data:`~repro.core.protocol.KNOWN_KINDS` accounting registry (D005),
-  and no mutable defaults on payload dataclasses (D006).
+  no mutable defaults on payload dataclasses (D006), and the payload
+  registry / ``@handles`` dispatch kept provably in sync (D007).
 
 * :mod:`repro.analysis.invariants` — assertable runtime predicates for
-  Chord ring health, index-state placement, and message conservation,
-  exposed as :func:`check_invariants` / :func:`assert_invariants`, the
-  ``--check-invariants`` CLI flag and a pytest fixture.
+  Chord ring health, index-state placement, message conservation and
+  registry-driven delivery policy, exposed as :func:`check_invariants`
+  / :func:`assert_invariants`, the ``--check-invariants`` CLI flag and
+  a pytest fixture.
 
 Run the linter with ``python -m repro lint [paths]``.
 """
@@ -26,6 +28,7 @@ from .invariants import (
     InvariantReport,
     Violation,
     assert_invariants,
+    check_delivery_policy,
     check_index_placement,
     check_invariants,
     check_message_conservation,
@@ -49,6 +52,7 @@ __all__ = [
     "check_ring",
     "check_index_placement",
     "check_message_conservation",
+    "check_delivery_policy",
     "check_invariants",
     "assert_invariants",
 ]

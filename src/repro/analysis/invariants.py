@@ -15,6 +15,13 @@ Complementing the static rules, these predicates check properties only a
   physical transmission is accounted for exactly once:
   ``sends + duplicates + in_flight_at_reset ==
   receives + drops + in_flight``.
+* **Delivery policy** (:func:`check_delivery_policy`) — every node's
+  dispatch table covers the whole protocol registry (each registered
+  payload type has exactly one role handler; ``Ack`` is consumed by the
+  runtime itself), and the receive-side dedup memory respects its
+  configured bound.  Runtime, registry and dispatch must agree — the
+  same single-source-of-truth property simlint D007 enforces
+  statically.
 
 :func:`check_invariants` bundles all three over a
 :class:`~repro.core.system.StreamIndexSystem`; :func:`assert_invariants`
@@ -38,6 +45,7 @@ __all__ = [
     "check_ring",
     "check_index_placement",
     "check_message_conservation",
+    "check_delivery_policy",
     "check_invariants",
     "assert_invariants",
     "InvariantError",
@@ -300,6 +308,57 @@ def check_message_conservation(network: "Network") -> InvariantReport:
 
 
 # ----------------------------------------------------------------------
+# delivery policy
+# ----------------------------------------------------------------------
+def check_delivery_policy(system: "StreamIndexSystem") -> InvariantReport:
+    """Check dispatch tables and dedup state against the protocol registry.
+
+    Every payload type registered in
+    :data:`~repro.core.protocol.PAYLOAD_REGISTRY` must have a role
+    handler on every live node (``Ack`` excepted — the runtime consumes
+    acks before dispatch), otherwise a protocol message would fall into
+    the unknown-payload fallback on some nodes but not others.  The
+    dedup seen-set must stay within ``cfg.dedup_seen_limit`` and in
+    sync with its FIFO eviction queue.
+    """
+    from ..core.protocol import Ack, PAYLOAD_REGISTRY
+
+    report = InvariantReport()
+    for app in system.all_apps:
+        if not app.node.alive:
+            continue
+        runtime = app.runtime
+        label = f"N{app.node_id}"
+        for payload_type in PAYLOAD_REGISTRY:
+            if payload_type is Ack:
+                continue
+            report.checks_run += 1
+            if runtime.dispatch.lookup(payload_type) is None:
+                report.violations.append(
+                    Violation(
+                        "delivery",
+                        label,
+                        f"registered payload {payload_type.__name__} has no "
+                        "role handler",
+                    )
+                )
+        report.checks_run += 1
+        seen = len(runtime._seen_deliveries)
+        order = len(runtime._seen_order)
+        limit = system.config.dedup_seen_limit
+        if seen != order or seen > limit:
+            report.violations.append(
+                Violation(
+                    "delivery",
+                    label,
+                    f"dedup memory inconsistent: {seen} ids vs {order} in "
+                    f"FIFO order, limit {limit}",
+                )
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
 # combined sweep
 # ----------------------------------------------------------------------
 def _merge(into: InvariantReport, part: InvariantReport) -> None:
@@ -313,6 +372,7 @@ def check_invariants(
     fingers: bool = True,
     index: bool = True,
     messages: bool = True,
+    delivery: bool = True,
 ) -> InvariantReport:
     """Run the full invariant sweep over a system.
 
@@ -326,6 +386,8 @@ def check_invariants(
         _merge(report, check_index_placement(system))
     if messages:
         _merge(report, check_message_conservation(system.network))
+    if delivery:
+        _merge(report, check_delivery_policy(system))
     return report
 
 

@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D006).
+"""The simlint rule catalog (D001–D007).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -11,8 +11,8 @@ Scopes follow the determinism contract rather than blanket coverage:
 wall-clock and hash-order rules (D002/D003) only bind inside the
 simulated world (``sim``/``chord``/``core``), float-equality (D004)
 inside routing and index math (``chord``/``core``), while RNG hygiene
-(D001), kind registration (D005) and payload-default safety (D006)
-apply everywhere outside test code.
+(D001), kind registration (D005), payload-default safety (D006) and
+registry/dispatch coherence (D007) apply everywhere outside test code.
 """
 
 from __future__ import annotations
@@ -570,3 +570,88 @@ class MutableDefaultRule(LintRule):
                 if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
                     self._flag_default(stmt, stmt.value)
         self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D007 — protocol registry and @handles dispatch must stay in sync
+# ----------------------------------------------------------------------
+@register
+class ProtocolRegistryRule(LintRule):
+    """Payload metadata and handler registration must agree with the registry.
+
+    Delivery policy (dedup, acks) lives on each payload type's
+    ``@payload(...)`` registration in ``core/protocol.py``; the runtime,
+    the invariant checker and the docs all read that one registry.  Two
+    kinds of drift would silently undermine it:
+
+    * a payload dataclass added to ``core/protocol.py`` without
+      ``@payload(...)`` metadata — it would fall into the
+      unknown-payload fallback with no declared policy;
+    * an ``@handles(X)`` registration naming a class that is not a
+      registered payload type — the handler could never fire (the
+      dispatch table also rejects this at construction; the rule
+      catches it before anything runs).
+    """
+
+    code = "D007"
+    title = "protocol registry / @handles dispatch drift"
+
+    #: dataclasses in core/protocol.py that are not wire payloads
+    _EXEMPT_DATACLASSES = {"PayloadSpec"}
+
+    @staticmethod
+    def _registered_payload_names() -> Set[str]:
+        from ..core.protocol import PAYLOAD_REGISTRY
+
+        return {cls.__name__ for cls in PAYLOAD_REGISTRY}
+
+    def _is_protocol_module(self) -> bool:
+        return self.path.replace("\\", "/").endswith("core/protocol.py")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_protocol_module():
+            deco_tails = set()
+            for deco in node.decorator_list:
+                target = deco.func if isinstance(deco, ast.Call) else deco
+                name = _dotted_name(target) or ""
+                deco_tails.add(name.rsplit(".", 1)[-1])
+            if (
+                "dataclass" in deco_tails
+                and "payload" not in deco_tails
+                and node.name not in self._EXEMPT_DATACLASSES
+            ):
+                self.report(
+                    node,
+                    f"payload dataclass `{node.name}` declares no "
+                    "@payload(...) registry metadata (kind / dedup / ack "
+                    "policy)",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            name = _dotted_name(deco.func) or ""
+            if name.rsplit(".", 1)[-1] != "handles":
+                continue
+            if not deco.args:
+                self.report(deco, "@handles(...) names no payload type")
+                continue
+            arg_name = _dotted_name(deco.args[0])
+            if arg_name is None:
+                self.report(
+                    deco,
+                    "@handles argument must be a payload class name so the "
+                    "registry link is statically checkable",
+                )
+                continue
+            if arg_name.rsplit(".", 1)[-1] not in self._registered_payload_names():
+                self.report(
+                    deco,
+                    f"@handles({arg_name}) references a type not registered "
+                    "in the protocol registry",
+                )
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]

@@ -26,8 +26,9 @@ from ..core.config import MiddlewareConfig
 from ..core.index import LocalIndex
 from ..core.mbr import MBR, MBRBatcher
 from ..core.metrics import FigureMetrics
-from ..core.protocol import KIND, ResponsePush, SimilaritySubscribe
+from ..core.protocol import KIND, MbrPublish, ResponsePush, SimilaritySubscribe
 from ..core.queries import SimilarityMatch, SimilarityQuery
+from ..core.roles.base import DispatchTable, RoleService, handles
 from ..sim.engine import Simulator
 from ..sim.network import Message, MessageStats, Network
 from ..sim.process import PeriodicProcess
@@ -35,7 +36,7 @@ from ..sim.rng import RngRegistry
 from ..streams.features import IncrementalFeatureExtractor
 from ..streams.generators import RandomWalkGenerator
 
-__all__ = ["BaselineNode", "BaselineSystem"]
+__all__ = ["BaselineClientRole", "BaselineIndexRole", "BaselineNode", "BaselineSystem"]
 
 
 @dataclass
@@ -47,13 +48,64 @@ class _Source:
     mbrs_published: int = 0
 
 
+class BaselineIndexRole(RoleService):
+    """The reduced index-holder role of a baseline data center.
+
+    Same declarative dispatch as the real middleware, but no range
+    spans, no aggregation hand-off, no hierarchy feed: baselines store
+    what they are sent and nothing more.
+    """
+
+    role = "index-holder"
+
+    @handles(MbrPublish)
+    def on_mbr(self, message: Message, payload: MbrPublish) -> None:
+        node = self.runtime
+        node.index.add_mbr(
+            payload.mbr, expires=self.system.sim.now + payload.lifespan_ms
+        )
+
+    @handles(SimilaritySubscribe)
+    def on_similarity_subscribe(
+        self, message: Message, payload: SimilaritySubscribe
+    ) -> None:
+        node = self.runtime
+        node.index.add_similarity_sub(
+            payload, expires=self.system.sim.now + payload.lifespan_ms
+        )
+
+
+class BaselineClientRole(RoleService):
+    """The reduced client role of a baseline data center."""
+
+    role = "client"
+
+    @handles(ResponsePush)
+    def on_response(self, message: Message, payload: ResponsePush) -> None:
+        node = self.runtime
+        bucket = node.similarity_results.setdefault(payload.query_id, [])
+        for stream_id, dist in payload.similarity:
+            bucket.append(
+                SimilarityMatch(
+                    query_id=payload.query_id,
+                    stream_id=stream_id,
+                    distance_bound=dist,
+                    reported_by=message.origin,
+                    time=self.system.sim.now,
+                )
+            )
+
+
 class BaselineNode:
     """A data center in a baseline architecture.
 
     Provides the same stream-source pipeline as the real middleware
     (incremental features, MBR batching) and a local index; what happens
     to a finished MBR or a posted query is decided by the owning
-    :class:`BaselineSystem` subclass.
+    :class:`BaselineSystem` subclass.  Delivery uses the same
+    declarative ``@handles`` dispatch as the real middleware, with the
+    reduced role set above (the node itself acts as the services'
+    runtime — baselines have no overlay, dedup or reliability layer).
     """
 
     def __init__(self, node_id: int, system: "BaselineSystem") -> None:
@@ -62,6 +114,9 @@ class BaselineNode:
         self.index = LocalIndex()
         self.sources: Dict[str, _Source] = {}
         self.similarity_results: Dict[int, List[SimilarityMatch]] = {}
+        self.dispatch = DispatchTable()
+        self.dispatch.add_service(BaselineIndexRole(self))
+        self.dispatch.add_service(BaselineClientRole(self))
 
     def attach_stream(self, stream_id: str, generator: Callable[[], float]) -> None:
         """Attach a locally sourced stream."""
@@ -91,28 +146,21 @@ class BaselineNode:
 
     # ------------------------------------------------------------------
     def receive(self, message: Message) -> None:
-        """Point-to-point delivery upcall."""
+        """Point-to-point delivery upcall: dispatch by payload type.
+
+        Unhandled payloads are counted (and traced, when a tracer is
+        attached) rather than silently dropped, mirroring the real
+        runtime's unknown-payload fallback.
+        """
         payload = message.payload
-        if isinstance(payload, MBR):
-            self.index.add_mbr(
-                payload, expires=self.system.sim.now + self.system.config.workload.bspan_ms
-            )
-        elif isinstance(payload, SimilaritySubscribe):
-            self.index.add_similarity_sub(
-                payload, expires=self.system.sim.now + payload.lifespan_ms
-            )
-        elif isinstance(payload, ResponsePush):
-            bucket = self.similarity_results.setdefault(payload.query_id, [])
-            for stream_id, dist in payload.similarity:
-                bucket.append(
-                    SimilarityMatch(
-                        query_id=payload.query_id,
-                        stream_id=stream_id,
-                        distance_bound=dist,
-                        reported_by=message.origin,
-                        time=self.system.sim.now,
-                    )
-                )
+        handler = self.dispatch.lookup(type(payload))
+        if handler is None:
+            self.system.network.stats.record_unknown_payload(message.kind)
+            tracer = self.system.network.tracer
+            if tracer is not None:
+                tracer.record_unknown(self.system.sim.now, self.node_id, message)
+            return
+        handler(message, payload)
 
     def on_notification_tick(self) -> None:
         """NPER duties: purge and report new candidates straight to clients."""

@@ -13,7 +13,7 @@ distributed design keeps per-node load near-constant.
 from __future__ import annotations
 
 from ..core.mbr import MBR
-from ..core.protocol import KIND, SimilaritySubscribe
+from ..core.protocol import KIND, MbrPublish, SimilaritySubscribe
 from ..core.queries import SimilarityQuery
 from .base import BaselineNode, BaselineSystem
 
@@ -35,7 +35,16 @@ class CentralizedIndexSystem(BaselineSystem):
         if source.node_id == self.CENTER:
             source.index.add_mbr(mbr, expires=self.sim.now + self.config.workload.bspan_ms)
             return
-        self.send(source, self.CENTER, KIND.MBR, mbr)
+        # the key range is meaningless here (no content routing), but the
+        # wrapped payload lets the center reuse the registry dispatch
+        payload = MbrPublish(
+            mbr=mbr,
+            source_id=source.node_id,
+            low_key=0,
+            high_key=0,
+            lifespan_ms=self.config.workload.bspan_ms,
+        )
+        self.send(source, self.CENTER, KIND.MBR, payload)
 
     def post_similarity_query(self, app: BaselineNode, query: SimilarityQuery) -> int:
         """Send the query to the center, which serves it for its lifespan."""

@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings to the baseline file and exit 0",
     )
 
+    sub.add_parser(
+        "protocol",
+        help="print the message-kind x role-handler table from the live "
+        "protocol registry (DESIGN.md §8)",
+    )
+
     rs = sub.add_parser("ring-stats", help="Chord ring diagnostics")
     rs.add_argument("--nodes", type=int, default=100)
     rs.add_argument("--m", type=int, default=32)
@@ -439,6 +445,47 @@ def cmd_lint(args, out) -> int:
     return 0
 
 
+def cmd_protocol(_args, out) -> int:
+    """Render the protocol registry and role dispatch as one table.
+
+    Generated from the live registry, so it cannot drift from the code:
+    the same metadata drives runtime dedup/ack policy, the delivery
+    invariant checker and simlint D007.
+    """
+    from .core.protocol import PAYLOAD_REGISTRY
+    from .core.runtime import DEFAULT_SERVICES
+
+    handler_of = {}
+    for service_cls in DEFAULT_SERVICES:
+        for payload_type, method_name in service_cls.handlers():
+            handler_of[payload_type] = (
+                service_cls.role,
+                f"{service_cls.__name__}.{method_name}",
+            )
+    rows = []
+    for payload_type, spec in PAYLOAD_REGISTRY.items():
+        role, handler = handler_of.get(payload_type, ("(runtime)", "NodeRuntime.deliver"))
+        rows.append(
+            [
+                payload_type.__name__,
+                spec.kind,
+                "yes" if spec.dedup else "no",
+                ",".join(sorted(spec.ack_kinds)) if spec.ack_kinds else "-",
+                role,
+                handler,
+            ]
+        )
+    print(
+        format_table(
+            "Protocol registry: payload delivery policy and role dispatch",
+            ["payload", "kind", "dedup", "ack on kinds", "role", "handler"],
+            rows,
+        ),
+        file=out,
+    )
+    return 0
+
+
 def cmd_ring_stats(args, out) -> int:
     from .chord import ChordRing, RingAnalyzer
 
@@ -478,6 +525,7 @@ _COMMANDS = {
     "baselines": cmd_baselines,
     "lossy": cmd_lossy,
     "lint": cmd_lint,
+    "protocol": cmd_protocol,
     "ring-stats": cmd_ring_stats,
 }
 

@@ -22,8 +22,18 @@ from .metrics import (
 )
 from .middleware import AggregatorEntry, SourceState, StreamIndexNode
 from .multicast import RangeMulticast, middle_key
-from .protocol import KIND, Ack, next_delivery_id
+from .protocol import KIND, PAYLOAD_REGISTRY, Ack, PayloadSpec, next_delivery_id, spec_of
 from .reliable import ReliableSender
+from .roles import (
+    AggregatorService,
+    ClientService,
+    DispatchTable,
+    IndexHolderService,
+    RoleService,
+    SourceService,
+    handles,
+)
+from .runtime import DEFAULT_SERVICES, NodeRuntime
 from .queries import (
     InnerProductQuery,
     InnerProductResult,
@@ -55,9 +65,21 @@ __all__ = [
     "RangeMulticast",
     "middle_key",
     "KIND",
+    "PAYLOAD_REGISTRY",
     "Ack",
+    "PayloadSpec",
     "next_delivery_id",
+    "spec_of",
     "ReliableSender",
+    "RoleService",
+    "DispatchTable",
+    "handles",
+    "SourceService",
+    "IndexHolderService",
+    "AggregatorService",
+    "ClientService",
+    "NodeRuntime",
+    "DEFAULT_SERVICES",
     "InnerProductQuery",
     "InnerProductResult",
     "SimilarityMatch",

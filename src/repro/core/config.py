@@ -127,6 +127,11 @@ class MiddlewareConfig:
         Soft-state healing period: sources periodically re-register
         streams, re-publish their freshest unexpired MBR, and clients
         re-disseminate live subscriptions.  0 disables refresh.
+    dedup_seen_limit:
+        Per-node bound on remembered delivery ids for receive-side
+        duplicate suppression (FIFO eviction once full).  Sized so ids
+        outlive the retry window: an id evicted while its sender still
+        retransmits would let a duplicate through as a fresh delivery.
     loss_rate / duplicate_rate / delay_jitter_ms:
         Convenience fault knobs: when any is non-zero (and no explicit
         :class:`~repro.sim.faults.FaultPlan` is given to the system) the
@@ -159,6 +164,7 @@ class MiddlewareConfig:
     retry_backoff: float = 2.0
     retry_jitter_ms: float = 40.0
     refresh_period_ms: float = 0.0
+    dedup_seen_limit: int = 8192
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
     delay_jitter_ms: float = 0.0
@@ -191,6 +197,8 @@ class MiddlewareConfig:
             raise ValueError("retry_jitter_ms must be non-negative")
         if self.refresh_period_ms < 0:
             raise ValueError("refresh_period_ms must be non-negative")
+        if self.dedup_seen_limit < 1:
+            raise ValueError("dedup_seen_limit must be >= 1")
         for name, rate in (("loss_rate", self.loss_rate),
                            ("duplicate_rate", self.duplicate_rate)):
             if not (0.0 <= rate < 1.0):

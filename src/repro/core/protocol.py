@@ -6,13 +6,24 @@ the location-service handshake for inner-product queries, periodic
 similarity reports converging on the aggregator, and periodic response
 pushes back to clients.  Message *kinds* (the accounting categories)
 are defined alongside in :data:`KIND` so middleware and metrics agree.
+
+Beyond its wire format, every payload type declares its **delivery
+policy** right here via the :func:`payload` decorator: its primary
+accounting ``kind``, whether redundant deliveries are deduplicated by
+delivery id (``dedup``), and whether (and under which message kinds) a
+delivery is acknowledged when reliable delivery is on
+(``ack_on_delivery`` / ``ack_kinds``).  The resulting
+:data:`PAYLOAD_REGISTRY` is the single source of truth consumed by the
+:class:`~repro.core.runtime.NodeRuntime` dispatch layer, the runtime
+invariant checker (:func:`repro.analysis.invariants.check_delivery_policy`)
+and the simlint D007 rule — adding a message type is a one-file change.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -23,6 +34,10 @@ __all__ = [
     "KIND",
     "KNOWN_KINDS",
     "is_known_kind",
+    "PayloadSpec",
+    "PAYLOAD_REGISTRY",
+    "payload",
+    "spec_of",
     "MbrPublish",
     "SimilaritySubscribe",
     "RegisterStream",
@@ -119,6 +134,100 @@ def is_known_kind(kind: str) -> bool:
     return kind in KNOWN_KINDS
 
 
+@dataclass(frozen=True)
+class PayloadSpec:
+    """Delivery policy of one payload type (see :func:`payload`).
+
+    Attributes
+    ----------
+    kind:
+        The primary accounting kind the payload originates under.
+    dedup:
+        Suppress redundant deliveries (retransmits, network-injected
+        duplicates) by delivery id.  Handlers of dedup'd payloads
+        install state or append results, so replaying them must be a
+        no-op; request/reply payloads stay ``False`` — a retransmitted
+        request must be re-forwarded / re-answered, and their handlers
+        are naturally idempotent.
+    ack_on_delivery:
+        Emit an :class:`Ack` when the payload is delivered and reliable
+        delivery is on.  (Duplicates are re-acked too: the sender
+        retransmitting means our first ack was lost.)
+    ack_kinds:
+        The message kinds under which a delivery is acknowledged.  Only
+        *primary* deliveries are acked; span copies of a range multicast
+        never are — the originator only needs the entry node's ack, and
+        span tails lost to the network are healed by soft-state refresh
+        instead.
+    """
+
+    kind: str
+    dedup: bool = False
+    ack_on_delivery: bool = False
+    ack_kinds: FrozenSet[str] = frozenset()
+
+
+PAYLOAD_REGISTRY: Dict[Type, PayloadSpec] = {}
+"""Every wire payload type, mapped to its :class:`PayloadSpec`.
+
+Iteration order is declaration order in this module, so tables derived
+from the registry (``python -m repro protocol``) are deterministic.
+"""
+
+
+def payload(
+    *,
+    kind: str,
+    dedup: bool = False,
+    ack_on_delivery: bool = False,
+    ack_kinds: Iterable[str] = (),
+):
+    """Class decorator registering a payload type's delivery policy.
+
+    Usage (stacked *above* ``@dataclass`` so the finished class is
+    registered)::
+
+        @payload(kind=KIND.MBR, dedup=True,
+                 ack_on_delivery=True, ack_kinds=(KIND.MBR,))
+        @dataclass
+        class MbrPublish: ...
+
+    Raises :class:`ValueError` on duplicate registration, unknown kinds,
+    or an ack policy without any ack kinds — the registry must stay
+    internally consistent because runtime dispatch, the invariant
+    checker and simlint D007 all trust it blindly.
+    """
+    spec = PayloadSpec(
+        kind=kind,
+        dedup=dedup,
+        ack_on_delivery=ack_on_delivery,
+        ack_kinds=frozenset(ack_kinds),
+    )
+    if spec.kind not in KNOWN_KINDS:
+        raise ValueError(f"payload kind {spec.kind!r} is not in KNOWN_KINDS")
+    for ack_kind in spec.ack_kinds:
+        if ack_kind not in KNOWN_KINDS:
+            raise ValueError(f"ack kind {ack_kind!r} is not in KNOWN_KINDS")
+    if spec.ack_on_delivery != bool(spec.ack_kinds):
+        raise ValueError(
+            "ack_on_delivery and ack_kinds must be declared together"
+        )
+
+    def register(cls: Type) -> Type:
+        if cls in PAYLOAD_REGISTRY:
+            raise ValueError(f"payload type {cls.__name__} registered twice")
+        PAYLOAD_REGISTRY[cls] = spec
+        return cls
+
+    return register
+
+
+def spec_of(payload_type: Type) -> Optional[PayloadSpec]:
+    """The delivery policy of a payload type; ``None`` if unregistered."""
+    return PAYLOAD_REGISTRY.get(payload_type)
+
+
+@payload(kind=KIND.MBR, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.MBR,))
 @dataclass
 class MbrPublish:
     """A stream source publishing one MBR of summaries.
@@ -135,6 +244,9 @@ class MbrPublish:
     delivery_id: int = -1
 
 
+@payload(
+    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+)
 @dataclass
 class SimilaritySubscribe:
     """A similarity query being installed across its key range.
@@ -166,6 +278,12 @@ class SimilaritySubscribe:
     delivery_id: int = -1
 
 
+@payload(
+    kind=KIND.REGISTER,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.REGISTER,),
+)
 @dataclass
 class RegisterStream:
     """One-time location-service registration: ``h2(sid) -> source``."""
@@ -175,6 +293,7 @@ class RegisterStream:
     delivery_id: int = -1
 
 
+@payload(kind=KIND.QUERY, ack_on_delivery=True, ack_kinds=(KIND.QUERY,))
 @dataclass
 class LocateRequest:
     """Client asking the location service which node sources a stream."""
@@ -184,6 +303,7 @@ class LocateRequest:
     delivery_id: int = -1
 
 
+@payload(kind=KIND.RESPONSE)
 @dataclass
 class LocateReply:
     """Location service answering a :class:`LocateRequest` (cacheable)."""
@@ -193,6 +313,9 @@ class LocateReply:
     query_id: int
 
 
+@payload(
+    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+)
 @dataclass
 class InnerProductSubscribe:
     """The inner-product query, forwarded to the stream's source node."""
@@ -202,6 +325,7 @@ class InnerProductSubscribe:
     delivery_id: int = -1
 
 
+@payload(kind=KIND.QUERY)
 @dataclass
 class WindowRequest:
     """A client asking a stream's source for its current raw window.
@@ -219,6 +343,7 @@ class WindowRequest:
     delivery_id: int = -1
 
 
+@payload(kind=KIND.RESPONSE)
 @dataclass
 class WindowReply:
     """The source's answer to a :class:`WindowRequest`."""
@@ -229,6 +354,9 @@ class WindowReply:
     source_id: int
 
 
+@payload(
+    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+)
 @dataclass
 class HierarchyQuery:
     """A wide-selectivity similarity query entering the VI-B hierarchy.
@@ -248,6 +376,12 @@ class HierarchyQuery:
     delivery_id: int = -1
 
 
+@payload(
+    kind=KIND.NEIGHBOR_INFO,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.NEIGHBOR_INFO,),
+)
 @dataclass
 class SimilarityReport:
     """Periodic aggregated similarity info flowing to a middle node.
@@ -262,6 +396,12 @@ class SimilarityReport:
     delivery_id: int = -1
 
 
+@payload(
+    kind=KIND.RESPONSE,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.RESPONSE,),
+)
 @dataclass
 class ResponsePush:
     """Periodic response from an aggregator or source back to a client.
@@ -280,6 +420,7 @@ class ResponsePush:
     delivery_id: int = -1
 
 
+@payload(kind=KIND.ACK)
 @dataclass
 class Ack:
     """Delivery acknowledgement for a reliably-sent payload.

@@ -1,0 +1,26 @@
+"""The Fig. 5 role services of the stream-indexing middleware.
+
+Each data center plays four roles simultaneously; each role is one
+:class:`~repro.core.roles.base.RoleService` owning its state and
+declaring its message handlers with ``@handles``.  The
+:class:`~repro.core.runtime.NodeRuntime` composes them atop the shared
+dispatch / delivery-policy / reliability substrate.
+"""
+
+from .aggregator import AggregatorEntry, AggregatorService
+from .base import DispatchTable, RoleService, handles
+from .client import ClientService
+from .holder import IndexHolderService
+from .source import SourceService, SourceState
+
+__all__ = [
+    "AggregatorEntry",
+    "AggregatorService",
+    "ClientService",
+    "DispatchTable",
+    "IndexHolderService",
+    "RoleService",
+    "SourceService",
+    "SourceState",
+    "handles",
+]

@@ -1,0 +1,123 @@
+"""Aggregator role (Fig. 5): merge candidate reports at the middle node.
+
+For every similarity query whose middle key this node owns, the
+aggregator keeps one :class:`AggregatorEntry` that deduplicates the
+candidate reports arriving from the query's range nodes and periodically
+pushes the not-yet-sent matches to the client (Sec. IV-F).
+
+Aggregation state is rebuilt lazily after churn: if the original middle
+node dies, reports are routed to the key's new owner, which holds the
+same subscription (it is a range node) and can recreate the entry from
+it — see :meth:`AggregatorService.aggregator_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...sim.network import Message
+from ..protocol import ResponsePush, SimilarityReport
+from .base import RoleService, handles
+
+__all__ = ["AggregatorService", "AggregatorEntry"]
+
+
+@dataclass
+class AggregatorEntry:
+    """State the middle node keeps per similarity query it aggregates."""
+
+    query_id: int
+    client_id: int
+    expires: float
+    seen: Set[str] = field(default_factory=set)
+    pending: List[Tuple[str, float]] = field(default_factory=list)
+
+    def absorb(self, matches: List[Tuple[str, float]]) -> int:
+        """Merge a report; returns how many matches were new."""
+        fresh = 0
+        for stream_id, dist in matches:
+            if stream_id not in self.seen:
+                self.seen.add(stream_id)
+                self.pending.append((stream_id, dist))
+                fresh += 1
+        return fresh
+
+    def drain(self) -> List[Tuple[str, float]]:
+        """Take the not-yet-pushed matches."""
+        out = self.pending
+        self.pending = []
+        return out
+
+
+class AggregatorService(RoleService):
+    """The aggregator (middle-node) role of one data center."""
+
+    role = "aggregator"
+
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        #: aggregation state for queries whose middle key this node owns
+        self.aggregators: Dict[int, AggregatorEntry] = {}
+
+    def ensure_entry(self, query_id: int, client_id: int, expires: float) -> None:
+        """Install aggregation state for a query (idempotent)."""
+        self.aggregators.setdefault(
+            query_id,
+            AggregatorEntry(query_id=query_id, client_id=client_id, expires=expires),
+        )
+
+    def aggregator_for(self, query_id: int) -> Optional[AggregatorEntry]:
+        """The aggregation state for a query, created lazily if this node
+        holds the subscription and now owns its middle key.
+
+        Lazy takeover is what makes aggregation churn-tolerant: if the
+        original middle node dies, reports get routed to the key's new
+        owner, which is a range node holding the same subscription and
+        can rebuild the aggregator from it (the client id travels with
+        the subscription).  Already-confirmed matches may be re-sent to
+        the client after a takeover; duplicates are idempotent there.
+        """
+        agg = self.aggregators.get(query_id)
+        if agg is not None:
+            return agg
+        stored = self.runtime.holder.index.similarity_subs.get(query_id)
+        if stored is None or not self.node.owns_key(stored.sub.middle_key):
+            return None
+        agg = AggregatorEntry(
+            query_id=query_id,
+            client_id=stored.sub.client_id,
+            expires=stored.expires,
+        )
+        self.aggregators[query_id] = agg
+        return agg
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    @handles(SimilarityReport)
+    def on_similarity_report(self, message: Message, payload: SimilarityReport) -> None:
+        for query_id, matches in payload.matches.items():
+            agg = self.aggregator_for(query_id)
+            if agg is not None:
+                agg.absorb(matches)
+
+    # ------------------------------------------------------------------
+    # periodic duties
+    # ------------------------------------------------------------------
+    def on_notification_tick(self, now: float) -> None:
+        self._push_aggregated_responses(now)
+
+    def _push_aggregated_responses(self, now: float) -> None:
+        """Periodic responses to clients (Sec. IV-F)."""
+        for query_id in list(self.aggregators):
+            agg = self.aggregators[query_id]
+            if agg.expires <= now:
+                del self.aggregators[query_id]
+                continue
+            payload = ResponsePush(
+                client_id=agg.client_id,
+                query_id=query_id,
+                similarity=agg.drain(),
+            )
+            self.runtime.send_response(agg.client_id, payload)

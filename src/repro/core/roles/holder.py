@@ -1,0 +1,170 @@
+"""Index-holder role (Fig. 5): store what content routing places here.
+
+The holder owns the node's :class:`~repro.core.index.LocalIndex` — the
+MBRs whose routing coordinate maps into this node's key arc, the
+similarity subscriptions replicated over it, the ``h2`` stream registry
+entries hashed onto it, and the inner-product subscriptions the
+co-located source role installs.  Its handlers are the receive side of
+every content-routed publish/subscribe payload (continuing range spans
+as they arrive), and its periodic duty is the Sec. IV-F detect/report
+step: match stored MBRs against stored subscriptions and report fresh
+candidates to each query's aggregation (middle) node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...sim.network import Message
+from ..index import LocalIndex
+from ..protocol import (
+    KIND,
+    HierarchyQuery,
+    InnerProductSubscribe,
+    LocateRequest,
+    MbrPublish,
+    RegisterStream,
+    ResponsePush,
+    SimilarityReport,
+    SimilaritySubscribe,
+    next_delivery_id,
+)
+from .base import RoleService, handles
+
+__all__ = ["IndexHolderService"]
+
+
+class IndexHolderService(RoleService):
+    """The index-holder role of one data center."""
+
+    role = "index-holder"
+
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        self.index = LocalIndex()
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    @handles(MbrPublish)
+    def on_mbr(self, message: Message, payload: MbrPublish) -> None:
+        self.index.add_mbr(payload.mbr, expires=self._sim.now + payload.lifespan_ms)
+        if (
+            self.system.hierarchy_index is not None
+            and message.kind == KIND.MBR  # primary delivery, not a span copy
+        ):
+            # Sec. VI-B: the content-placed node feeds the summary up the
+            # leader hierarchy (with update suppression)
+            self.system.hierarchy_index.publish(
+                self.node_id,
+                payload.mbr,
+                expires=self._sim.now + payload.lifespan_ms,
+            )
+        self.system.multicast.continue_span(
+            self.node,
+            message,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
+            span_kind=KIND.MBR_SPAN,
+        )
+
+    @handles(SimilaritySubscribe)
+    def on_similarity_subscribe(
+        self, message: Message, payload: SimilaritySubscribe
+    ) -> None:
+        expires = self._sim.now + payload.lifespan_ms
+        self.index.add_similarity_sub(payload, expires=expires)
+        if self.node.owns_key(payload.middle_key):
+            self.runtime.aggregator.ensure_entry(
+                payload.query_id, payload.client_id, expires
+            )
+        self.system.multicast.continue_span(
+            self.node,
+            message,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
+            span_kind=KIND.QUERY_SPAN,
+        )
+
+    @handles(RegisterStream)
+    def on_register_stream(self, message: Message, payload: RegisterStream) -> None:
+        self.index.registry[payload.stream_id] = payload.source_id
+
+    @handles(LocateRequest)
+    def on_locate(self, message: Message, payload: LocateRequest) -> None:
+        source_id = self.index.registry.get(payload.query.stream_id)
+        if source_id is None:
+            return  # unknown stream: query is dropped (no such source yet)
+        sub = InnerProductSubscribe(
+            query=payload.query,
+            client_id=payload.client_id,
+            delivery_id=next_delivery_id(),
+        )
+        self.runtime.reliable_route(
+            sub,
+            kind=KIND.QUERY,
+            transit_kind=KIND.QUERY_TRANSIT,
+            dest_key=source_id,
+        )
+
+    @handles(HierarchyQuery)
+    def on_hierarchy_query(self, message: Message, payload: HierarchyQuery) -> None:
+        """Center-key owner: climb the hierarchy and answer the client."""
+        hier = self.system.hierarchy_index
+        if hier is None:
+            return
+        position_range = self.system.position_range_of_keys(
+            payload.low_key, payload.high_key
+        )
+
+        def answer(matches) -> None:
+            push = ResponsePush(
+                client_id=payload.client_id,
+                query_id=payload.query_id,
+                similarity=list(matches),
+            )
+            self.runtime.send_response(payload.client_id, push)
+
+        hier.query(
+            self.node_id,
+            payload.feature,
+            payload.radius,
+            answer,
+            position_range=position_range,
+        )
+
+    # ------------------------------------------------------------------
+    # periodic duties
+    # ------------------------------------------------------------------
+    def on_notification_tick(self, now: float) -> None:
+        self.index.purge(now)
+        self._report_similarities(now)
+
+    def _report_similarities(self, now: float) -> None:
+        """Match local MBRs against subscriptions; report to middle nodes."""
+        reports: Dict[int, SimilarityReport] = {}
+        for stored in self.index.similarity_subs.values():
+            candidates = self.index.new_candidates(stored, now)
+            mid = stored.sub.middle_key
+            if self.node.owns_key(mid):
+                agg = self.runtime.aggregator.aggregator_for(stored.sub.query_id)
+                if agg is not None and candidates:
+                    agg.absorb(candidates)
+                continue
+            if candidates or self.cfg.report_empty:
+                rep = reports.setdefault(
+                    mid,
+                    SimilarityReport(
+                        reporter_id=self.node_id,
+                        middle_key=mid,
+                        delivery_id=next_delivery_id(),
+                    ),
+                )
+                rep.matches[stored.sub.query_id] = candidates
+        for mid, rep in reports.items():
+            self.runtime.reliable_route(
+                rep,
+                kind=KIND.NEIGHBOR_INFO,
+                transit_kind=KIND.NEIGHBOR_TRANSIT,
+                dest_key=mid,
+            )

@@ -1,0 +1,267 @@
+"""NodeRuntime: the cross-cutting substrate under the Fig. 5 roles.
+
+One :class:`NodeRuntime` runs per data center and owns everything that
+is *not* role logic:
+
+* typed dispatch — delivered payloads are routed to the single role
+  handler declared with ``@handles`` (see :mod:`repro.core.roles.base`);
+* delivery policy — receive-side duplicate suppression with a bounded
+  seen-set and ack emission, both driven by the per-payload metadata
+  each payload type declares in the protocol registry
+  (:class:`~repro.core.protocol.PayloadSpec`), so runtime, invariant
+  checker and simlint all read one source of truth;
+* reliable delivery — the :class:`~repro.core.reliable.ReliableSender`
+  ack/retry state machine, plus the route/disseminate helpers roles use
+  to send under it;
+* periodic ticks — the NPER notification tick and the soft-state
+  refresh tick, fanned out to the roles in a fixed order;
+* the unknown-payload fallback — delivered payloads no handler claims
+  are counted and traced, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Set, Type
+
+from ..chord.node import ChordNode
+from ..sim.network import Message
+from .protocol import KIND, Ack, PayloadSpec, next_delivery_id, spec_of
+from .reliable import ReliableSender
+from .roles.aggregator import AggregatorService
+from .roles.base import DispatchTable, RoleService
+from .roles.client import ClientService
+from .roles.holder import IndexHolderService
+from .roles.source import SourceService
+
+__all__ = ["NodeRuntime", "DEFAULT_SERVICES"]
+
+#: the Fig. 5 role set, in tick fan-out order: the notification tick
+#: must run purge/report (holder) -> response push (aggregator) ->
+#: inner-product push (source), and the refresh tick re-asserts source
+#: state before client state — both orders are load-bearing for the
+#: byte-identical determinism contract.
+DEFAULT_SERVICES = (
+    IndexHolderService,
+    AggregatorService,
+    SourceService,
+    ClientService,
+)
+
+
+class NodeRuntime:
+    """Dispatch, delivery policy, reliability and ticks for one node."""
+
+    def __init__(self, node: ChordNode, system, services=DEFAULT_SERVICES) -> None:
+        self.node = node
+        self.system = system
+        self.cfg = system.config
+        #: ack/retry state machine (no-op unless cfg.reliable_delivery)
+        self.reliable = ReliableSender(self)
+        #: delivery ids already processed here (receive-side dedup)
+        self._seen_deliveries: Set[int] = set()
+        self._seen_order: Deque[int] = deque()
+        self.dispatch = DispatchTable()
+        self.roles = {}
+        for service_cls in services:
+            svc = self.dispatch.add_service(service_cls(self))
+            self.roles[svc.role] = svc
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        """This data center's Chord identifier."""
+        return self.node.node_id
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    @property
+    def stats(self):
+        return self.system.network.stats
+
+    def role(self, name: str) -> RoleService:
+        """The role service registered under ``name``."""
+        return self.roles[name]
+
+    # named accessors for the default Fig. 5 role set
+    @property
+    def holder(self) -> IndexHolderService:
+        return self.roles["index-holder"]
+
+    @property
+    def aggregator(self) -> AggregatorService:
+        return self.roles["aggregator"]
+
+    @property
+    def source(self) -> SourceService:
+        return self.roles["source"]
+
+    @property
+    def client(self) -> ClientService:
+        return self.roles["client"]
+
+    # ------------------------------------------------------------------
+    # reliable-delivery plumbing (used by role services to send)
+    # ------------------------------------------------------------------
+    def reliable_route(
+        self,
+        payload,
+        *,
+        kind: str,
+        transit_kind: str,
+        dest_key: int,
+        on_give_up: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Route a payload with retransmission (when reliability is on)."""
+
+        def send() -> None:
+            msg = Message(
+                kind=kind, payload=payload, origin=self.node_id, dest_key=dest_key
+            )
+            self.system.overlay.route(self.node, msg, transit_kind=transit_kind)
+
+        self.reliable.track(payload, kind, send, on_give_up)
+        send()
+
+    def reliable_disseminate(
+        self, payload, *, kind: str, transit_kind: str, low_key: int, high_key: int
+    ) -> None:
+        """Range-multicast a payload with retransmission of the entry send.
+
+        Only the entry node acks (span copies never do); losses further
+        along the span are healed by the periodic refresh, not retries.
+        """
+
+        def send() -> None:
+            self.system.multicast.disseminate(
+                self.node,
+                payload,
+                kind=kind,
+                transit_kind=transit_kind,
+                low_key=low_key,
+                high_key=high_key,
+            )
+
+        self.reliable.track(payload, kind, send)
+        send()
+
+    def send_response(self, client_id: int, payload) -> None:
+        """Send a :class:`ResponsePush` to a client, reliably."""
+        if payload.delivery_id < 0:
+            payload.delivery_id = next_delivery_id()
+        self.stats.record_origination(KIND.RESPONSE)
+        self.reliable_route(
+            payload,
+            kind=KIND.RESPONSE,
+            transit_kind=KIND.RESPONSE_TRANSIT,
+            dest_key=client_id,
+        )
+
+    # ------------------------------------------------------------------
+    # delivery policy (driven by the protocol registry)
+    # ------------------------------------------------------------------
+    def _note_delivery(self, payload) -> bool:
+        """Remember a payload's delivery id; ``True`` if seen before."""
+        delivery_id = getattr(payload, "delivery_id", -1)
+        if delivery_id < 0:
+            return False
+        if delivery_id in self._seen_deliveries:
+            return True
+        self._seen_deliveries.add(delivery_id)
+        self._seen_order.append(delivery_id)
+        if len(self._seen_order) > self.cfg.dedup_seen_limit:
+            self._seen_deliveries.discard(self._seen_order.popleft())
+        return False
+
+    def _maybe_ack(self, message: Message, payload, spec: PayloadSpec) -> None:
+        """Acknowledge a primary delivery of an ack-eligible payload.
+
+        Per the payload's registry metadata: only when the spec enables
+        acking and the delivery arrived under one of its primary kinds
+        (span copies travel under span kinds and are never acked).
+        Duplicates are re-acked too: the original ack may be the copy
+        the network lost.  Local deliveries settle the sender directly
+        (we *are* the sender) without network traffic.
+        """
+        if not self.cfg.reliable_delivery:
+            return
+        if not spec.ack_on_delivery or message.kind not in spec.ack_kinds:
+            return
+        delivery_id = getattr(payload, "delivery_id", -1)
+        if delivery_id < 0:
+            return
+        if message.origin == self.node_id:
+            self.reliable.on_ack(delivery_id)
+            return
+        ack = Ack(delivery_id=delivery_id, acker_id=self.node_id, kind=message.kind)
+        msg = Message(
+            kind=KIND.ACK, payload=ack, origin=self.node_id, dest_key=message.origin
+        )
+        self.system.overlay.route(self.node, msg, transit_kind=KIND.ACK_TRANSIT)
+
+    # ------------------------------------------------------------------
+    # DHT application upcall
+    # ------------------------------------------------------------------
+    def deliver(self, node: ChordNode, message: Message) -> None:
+        """Dispatch a delivered overlay message by payload type.
+
+        Redundant deliveries of idempotence-critical payloads
+        (retransmissions after a lost ack, network-injected duplicates)
+        are suppressed by delivery id before dispatch — and re-acked,
+        since the sender retransmitting means our first ack was lost.
+        Which payload types dedup / ack is declared per type in the
+        protocol registry, not here.
+        """
+        payload = message.payload
+        if isinstance(payload, Ack):
+            self.reliable.on_ack(payload.delivery_id)
+            return
+        spec = spec_of(type(payload))
+        if spec is None:
+            self._on_unknown(node, message)
+            return
+        if spec.dedup and self._note_delivery(payload):
+            self.stats.record_duplicate_suppressed(message.kind)
+            self._maybe_ack(message, payload, spec)
+            return
+        self._maybe_ack(message, payload, spec)
+        handler = self.dispatch.lookup(type(payload))
+        if handler is None:
+            self._on_unknown(node, message)
+            return
+        handler(message, payload)
+
+    def _on_unknown(self, node: ChordNode, message: Message) -> None:
+        """Count and trace a delivered payload no handler claims.
+
+        Unknown payloads are tolerated (forward compatibility) but never
+        silently dropped: the stats counter and the ``"unknown"`` trace
+        event keep fault-model debugging from chasing ghosts.
+        """
+        self.stats.record_unknown_payload(message.kind)
+        tracer = self.system.network.tracer
+        if tracer is not None:
+            tracer.record_unknown(self.sim.now, self.node_id, message)
+
+    # ------------------------------------------------------------------
+    # periodic ticks (fanned out to roles in service order)
+    # ------------------------------------------------------------------
+    def on_notification_tick(self) -> None:
+        """The NPER-periodic duties: purge, detect, report, respond, push."""
+        if not self.node.alive:
+            return  # a crashed data center must not report from the grave
+        now = self.sim.now
+        for svc in self.dispatch.services:
+            svc.on_notification_tick(now)
+
+    def on_refresh_tick(self) -> None:
+        """Soft-state healing: periodically re-assert what should exist."""
+        if not self.node.alive:
+            return
+        now = self.sim.now
+        for svc in self.dispatch.services:
+            svc.on_refresh_tick(now)

@@ -31,8 +31,10 @@ _CSV_COLUMNS = ("time", "event", "src", "dst", "kind", "msg_id", "root_id", "hop
 class TraceEvent:
     """One traced network event.
 
-    ``event`` is ``"send"`` (transmission started at ``src``) or
-    ``"deliver"`` (the logical message reached its final destination).
+    ``event`` is ``"send"`` (transmission started at ``src``),
+    ``"deliver"`` (the logical message reached its final destination) or
+    ``"unknown"`` (delivered, but no role handler claims the payload
+    type — the runtime counted and ignored it).
     """
 
     time: float
@@ -79,6 +81,10 @@ class MessageTracer:
     def record_deliver(self, time: float, node: int, msg: "Message") -> None:
         """Record final delivery of a logical message."""
         self._record(time, "deliver", node, node, msg)
+
+    def record_unknown(self, time: float, node: int, msg: "Message") -> None:
+        """Record a delivered message whose payload no handler claims."""
+        self._record(time, "unknown", node, node, msg)
 
     def _record(self, time: float, event: str, src: int, dst: int, msg: "Message") -> None:
         if self._kinds is not None and msg.kind not in self._kinds:

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D006)."""
+"""Positive and negative cases for every simlint rule (D001–D007)."""
 
 import textwrap
 
@@ -18,7 +18,9 @@ def codes(findings):
 
 
 def test_registry_is_complete():
-    assert all_rule_codes() == ["D001", "D002", "D003", "D004", "D005", "D006"]
+    assert all_rule_codes() == [
+        "D001", "D002", "D003", "D004", "D005", "D006", "D007",
+    ]
     assert set(RULES) == set(all_rule_codes())
 
 
@@ -235,6 +237,107 @@ def test_d006_allows_factories_and_immutables(tmp_path):
 
             class NotADataclass:
                 shared = []
+            """,
+        )
+        == []
+    )
+
+
+# ---------------------------------------------------------------- D007
+def test_d007_flags_unregistered_payload_dataclass(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/protocol.py",
+        """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class Orphan:
+            value: int = 0
+        """,
+    )
+    assert codes(findings) == ["D007"]
+
+
+def test_d007_allows_registered_payloads_and_spec(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/protocol.py",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PayloadSpec:
+                kind: str = ""
+
+            @payload(kind="mbr", dedup=True)
+            @dataclass
+            class Registered:
+                value: int = 0
+
+            class NotADataclass:
+                pass
+            """,
+        )
+        == []
+    )
+
+
+def test_d007_ignores_dataclasses_outside_protocol_module(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/other.py",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PlainState:
+                value: int = 0
+            """,
+        )
+        == []
+    )
+
+
+def test_d007_flags_handles_of_unregistered_type(tmp_path):
+    findings = run_lint(
+        tmp_path,
+        "core/roles/thing.py",
+        """\
+        from repro.core.roles.base import RoleService, handles
+
+        class Svc(RoleService):
+            @handles(NotARealPayload)
+            def on_bogus(self, message, payload):
+                pass
+
+            @handles()
+            def on_empty(self, message, payload):
+                pass
+        """,
+    )
+    assert codes(findings) == ["D007", "D007"]
+
+
+def test_d007_allows_handles_of_registered_payloads(tmp_path):
+    assert (
+        run_lint(
+            tmp_path,
+            "core/roles/thing.py",
+            """\
+            from repro.core.protocol import MbrPublish, ResponsePush
+            from repro.core.roles.base import RoleService, handles
+
+            class Svc(RoleService):
+                @handles(MbrPublish)
+                def on_mbr(self, message, payload):
+                    pass
+
+                @handles(ResponsePush)
+                def on_response(self, message, payload):
+                    pass
             """,
         )
         == []

@@ -46,7 +46,19 @@ def test_parser_lists_all_commands():
         "ring-stats",
         "lossy",
         "lint",
+        "protocol",
     }
+
+
+def test_protocol_table_reflects_live_registry():
+    code, text = run_cli("protocol")
+    assert code == 0
+    # one row per registered payload, naming the handling role service
+    assert "MbrPublish" in text
+    assert "IndexHolderService.on_mbr" in text
+    assert "AggregatorService.on_similarity_report" in text
+    # runtime-terminal payloads are attributed to the dispatch layer
+    assert "NodeRuntime.deliver" in text
 
 
 def test_table1_output():
