@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D007).
+"""The simlint rule catalog (D001–D008).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -12,7 +12,9 @@ wall-clock and hash-order rules (D002/D003) only bind inside the
 simulated world (``sim``/``chord``/``core``), float-equality (D004)
 inside routing and index math (``chord``/``core``), while RNG hygiene
 (D001), kind registration (D005), payload-default safety (D006) and
-registry/dispatch coherence (D007) apply everywhere outside test code.
+registry/dispatch coherence (D007) apply everywhere outside test code;
+performance-timer containment (D008) applies everywhere except the
+sanctioned measurement homes (``repro/perf`` and ``benchmarks``).
 """
 
 from __future__ import annotations
@@ -655,3 +657,74 @@ class ProtocolRegistryRule(LintRule):
         self.generic_visit(node)
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+# ----------------------------------------------------------------------
+# D008 — performance timers only in the perf layer and benchmarks
+# ----------------------------------------------------------------------
+@register
+class PerfTimerContainmentRule(LintRule):
+    """Wall-clock *performance* timers live in ``repro/perf`` and ``benchmarks``.
+
+    D002 keeps wall clocks out of the simulated world (``sim`` / ``chord``
+    / ``core``); this rule covers the rest of the tree.  Measurement code
+    scattered through analysis or CLI layers drifts: numbers get produced
+    outside the schema-versioned bench report and outside the regression
+    gate.  ``time.perf_counter`` / ``time.process_time`` (and ``_ns``
+    variants) are therefore contained to the two sanctioned homes — the
+    :mod:`repro.perf` harness and the ``benchmarks/`` suite — so every
+    timing claim in the repo flows through one measured, comparable path
+    (PERFORMANCE.md).
+    """
+
+    code = "D008"
+    title = "perf timer outside repro/perf and benchmarks"
+
+    _BANNED_CALLS = (
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    )
+    _BANNED_FROM_TIME = {
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        # sim/chord/core are D002's territory (any wall clock, not just
+        # perf timers); flagging them here too would double-report.
+        if _in_packages(path, ("sim", "chord", "core")):
+            return False
+        return not _in_packages(path, ("perf", "benchmarks"))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in self._BANNED_FROM_TIME:
+                    self.report(
+                        node,
+                        f"import of perf timer `time.{alias.name}`; timing "
+                        "belongs in repro/perf or benchmarks/ "
+                        "(see PERFORMANCE.md)",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for banned in self._BANNED_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self.report(
+                        node,
+                        f"perf timer call `{dotted}` outside repro/perf and "
+                        "benchmarks/; route measurement through the bench "
+                        "harness (see PERFORMANCE.md)",
+                    )
+                    break
+        self.generic_visit(node)

@@ -13,7 +13,12 @@ import io
 from pathlib import Path
 from typing import Dict, Sequence, Union
 
-__all__ = ["series_to_csv", "run_to_csv", "stats_to_csv_string"]
+__all__ = [
+    "series_to_csv",
+    "series_to_csv_string",
+    "run_to_csv",
+    "stats_to_csv_string",
+]
 
 PathLike = Union[str, Path]
 

@@ -63,13 +63,30 @@ class IdSpace:
     layer, so that every component agrees on ``m``.
     """
 
-    __slots__ = ("m", "size")
+    __slots__ = ("m", "size", "routing_epoch")
 
     def __init__(self, m: int) -> None:
         if not (1 <= m <= 160):
             raise ValueError(f"m must be in [1, 160], got {m}")
         self.m = m
         self.size = 1 << m
+        #: monotone counter bumped whenever any routing state anywhere on
+        #: this ring changes (membership, successors, fingers).  Shared
+        #: through the space object every node already holds, it gives
+        #: the per-node ``next_hop`` caches a single O(1) staleness test;
+        #: deliberately excluded from ``__eq__``/``__hash__`` (two spaces
+        #: of equal ``m`` stay interchangeable).
+        self.routing_epoch = 0
+
+    def note_routing_change(self) -> None:
+        """Invalidate all routing caches keyed to this identifier space.
+
+        Called by every sanctioned mutation site of ring pointer state
+        (:mod:`repro.chord.ring`, :mod:`repro.chord.stabilize`).  Code
+        that mutates ``successor`` / ``fingers`` / ``alive`` directly
+        must call this too, or routed lookups may serve stale hops.
+        """
+        self.routing_epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IdSpace(m={self.m})"

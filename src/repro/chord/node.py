@@ -9,7 +9,7 @@ is exactly how the Chord paper specifies them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .idspace import IdSpace
 
@@ -51,6 +51,8 @@ class ChordNode:
         "predecessor",
         "successor_list",
         "alive",
+        "_nh_cache",
+        "_nh_epoch",
     )
 
     def __init__(self, name: str, node_id: int, space: IdSpace) -> None:
@@ -62,6 +64,10 @@ class ChordNode:
         self.predecessor: Optional["ChordNode"] = None
         self.successor_list: List["ChordNode"] = []
         self.alive = True
+        # key -> (next_node, final) memo for repro.chord.routing.next_hop,
+        # valid only while _nh_epoch matches space.routing_epoch.
+        self._nh_cache: Dict[int, Tuple["ChordNode", bool]] = {}
+        self._nh_epoch = -1
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

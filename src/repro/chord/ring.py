@@ -91,6 +91,7 @@ class ChordRing:
         self._by_id[node.node_id] = node
         insort(self._ids, node.node_id)
         node.alive = True
+        self.space.note_routing_change()
 
     def remove(self, node: ChordNode) -> None:
         """Unregister a node (it left or crashed)."""
@@ -100,6 +101,7 @@ class ChordRing:
         idx = bisect_left(self._ids, node.node_id)
         del self._ids[idx]
         node.alive = False
+        self.space.note_routing_change()
 
     # ------------------------------------------------------------------
     # exact routing state for static membership
@@ -127,6 +129,7 @@ class ChordRing:
             ]
             for i in range(self.space.m):
                 node.fingers[i] = self.successor_of_key(node.finger_start(i))
+        self.space.note_routing_change()
 
     # ------------------------------------------------------------------
     # ground truth queries

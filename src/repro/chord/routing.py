@@ -5,15 +5,33 @@ node and a key, compute the owner and the hop path — independent of the
 simulator.  The timed, message-counted version used by the middleware
 (:mod:`repro.chord.dht`) takes exactly the same steps but pays 50 ms and
 one accounted message per hop.
+
+Routing-step caching
+--------------------
+``next_hop`` is a pure function of the ring's routing state, which
+changes only at discrete, sanctioned mutation points (membership
+changes, stabilization repairs) — each of which bumps the shared
+:attr:`~repro.chord.idspace.IdSpace.routing_epoch`.  Between bumps,
+every node memoises its ``key -> (next, final)`` decisions, so repeated
+lookups (periodic finger repair, soft-state refresh towards stable
+keys) skip the finger-table scan.  A cached hop is *identical* to a
+freshly computed one — never merely "still reaches the owner" — so
+caching cannot change simulated behavior (hop sequences, and therefore
+every figure statistic, stay byte-identical; see PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..perf import counters as _opc
 from .node import ChordNode
 
 __all__ = ["find_successor", "lookup_path", "LookupError_"]
+
+#: per-node memo bound; a full sweep of hot keys fits, a pathological
+#: key stream cannot pin unbounded memory.
+_CACHE_CAP = 2048
 
 
 class LookupError_(RuntimeError):
@@ -29,18 +47,44 @@ def next_hop(node: ChordNode, key: int) -> Tuple[ChordNode, bool]:
     * if ``key`` is in ``(node, node.successor]``, the successor is the
       owner — the final hop;
     * otherwise forward to the closest preceding live finger.
+
+    Decisions are memoised per node until the ring's routing epoch
+    moves (see the module docstring); a hit additionally re-checks that
+    the cached hop is still alive, as defense in depth against routing
+    state mutated without a ``note_routing_change`` call.
     """
+    cache = node._nh_cache
+    epoch = node.space.routing_epoch
+    c = _opc.ACTIVE
+    if node._nh_epoch != epoch:
+        if cache:
+            cache.clear()
+        node._nh_epoch = epoch
+    else:
+        hit = cache.get(key)
+        if hit is not None and hit[0].alive:
+            if c is not None:
+                c.inc("route.cache_hits")
+            return hit
+    if c is not None:
+        c.inc("route.cache_misses")
+
     succ = node.first_live_successor()
     if succ is None or succ is node:
-        return node, True  # single-node ring owns everything
-    if node.space.between_half_open(key, node.node_id, succ.node_id):
-        return succ, True
-    nxt = node.closest_preceding_node(key)
-    if nxt is node:
-        # No finger strictly precedes the key; fall back to the
-        # successor, which always makes (slow) forward progress.
-        return succ, False
-    return nxt, False
+        result = (node, True)  # single-node ring owns everything
+    elif node.space.between_half_open(key, node.node_id, succ.node_id):
+        result = (succ, True)
+    else:
+        nxt = node.closest_preceding_node(key)
+        if nxt is node:
+            # No finger strictly precedes the key; fall back to the
+            # successor, which always makes (slow) forward progress.
+            result = (succ, False)
+        else:
+            result = (nxt, False)
+    if len(cache) < _CACHE_CAP:
+        cache[key] = result
+    return result
 
 
 def lookup_path(start: ChordNode, key: int, max_hops: int = 10_000) -> List[ChordNode]:

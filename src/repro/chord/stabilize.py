@@ -92,6 +92,7 @@ class Stabilizer:
                 pred.successor = succ
                 if succ.predecessor is node:
                     succ.predecessor = pred
+                node.space.note_routing_change()
         self._shutdown(node)
 
     def fail(self, node: ChordNode) -> None:
@@ -135,7 +136,15 @@ class Stabilizer:
             node.predecessor = None
 
     def _stabilize(self, node: ChordNode) -> None:
-        """Chord's ``stabilize``: verify the successor, then notify it."""
+        """Chord's ``stabilize``: verify the successor, then notify it.
+
+        Routing-cache note: the epoch is bumped only when the successor
+        pointer or backup list *actually changes* — a converged ring's
+        maintenance ticks rewrite identical values and must not thrash
+        the ``next_hop`` memos.
+        """
+        old_succ = node.successor
+        old_list = node.successor_list
         succ = node.first_live_successor()
         if succ is None:
             # The whole successor list died at once (more simultaneous
@@ -147,6 +156,8 @@ class Stabilizer:
             if succ is None:
                 node.successor = node
                 node.successor_list = []
+                if old_succ is not node or old_list:
+                    node.space.note_routing_change()
                 return
             node.successor_list = [succ]
         node.successor = succ
@@ -168,6 +179,8 @@ class Stabilizer:
             if len(fresh) >= self.successor_list_len:
                 break
         node.successor_list = fresh
+        if node.successor is not old_succ or fresh != old_list:
+            node.space.note_routing_change()
 
     @staticmethod
     def _emergency_successor(node: ChordNode) -> Optional[ChordNode]:
@@ -219,14 +232,22 @@ class Stabilizer:
         i = self._finger_cursor[node.node_id]
         self._finger_cursor[node.node_id] = (i + 1) % node.space.m
         try:
-            node.fingers[i] = find_successor(node, node.finger_start(i))
+            repaired: Optional[ChordNode] = find_successor(node, node.finger_start(i))
         except Exception:
-            node.fingers[i] = None  # repaired on a later round
+            repaired = None  # repaired on a later round
+        if node.fingers[i] is not repaired:
+            node.fingers[i] = repaired
+            node.space.note_routing_change()
 
     def fix_all_fingers(self, node: ChordNode) -> None:
         """Eagerly repair the whole finger table (test/bench convenience)."""
         for i in range(node.space.m):
-            node.fingers[i] = find_successor(node, node.finger_start(i))
+            repaired = find_successor(node, node.finger_start(i))
+            if node.fingers[i] is not repaired:
+                # Bump immediately: the repaired entry is consulted by the
+                # very next find_successor of this loop.
+                node.fingers[i] = repaired
+                node.space.note_routing_change()
 
     def stabilize_until_converged(self, max_rounds: int = 200) -> int:
         """Drive maintenance synchronously until routing state is exact.

@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     python -m repro distribution --nodes 100
     python -m repro baselines --nodes 50
     python -m repro lossy --nodes 50 --loss 0.05 --churn 0.1 --duration 20
+    python -m repro bench --quick
+    python -m repro lint src
+    python -m repro protocol
 
 The experiment subcommands mirror the benchmark suite
 (``pytest benchmarks/ --benchmark-only``) but let you pick node counts
@@ -103,6 +106,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the run, stabilize the ring and verify the ring / "
         "index-placement / message-conservation invariants "
         "(exit 1 on violation)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf suite and write a schema-versioned "
+        "BENCH_perf.json (see PERFORMANCE.md)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller scenario sizes (CI smoke profile)",
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="SCENARIO",
+        help="run only the named scenario(s)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="report path (default: BENCH_perf.json in the cwd)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare events/s against a baseline report; exit 1 on "
+        "regression beyond --max-regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional events/s drop vs --check (default 0.25)",
+    )
+    bench.add_argument(
+        "--speedup-ref",
+        default=None,
+        help="pre-optimization reference report used to annotate "
+        "speedups (default: benchmarks/perf_prepr.json if present)",
     )
 
     lint = sub.add_parser(
@@ -418,6 +462,22 @@ def _settle_and_check(system, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args, out) -> int:
+    from .perf.harness import DEFAULT_REPORT_PATH, SPEEDUP_REF_PATH, run_bench
+
+    return run_bench(
+        output=args.output if args.output is not None else DEFAULT_REPORT_PATH,
+        quick=args.quick,
+        only=args.only,
+        check=args.check,
+        max_regression=args.max_regression,
+        speedup_ref=(
+            args.speedup_ref if args.speedup_ref is not None else SPEEDUP_REF_PATH
+        ),
+        out=out,
+    )
+
+
 def cmd_lint(args, out) -> int:
     from .analysis import (
         format_finding,
@@ -524,6 +584,7 @@ _COMMANDS = {
     "distribution": cmd_distribution,
     "baselines": cmd_baselines,
     "lossy": cmd_lossy,
+    "bench": cmd_bench,
     "lint": cmd_lint,
     "protocol": cmd_protocol,
     "ring-stats": cmd_ring_stats,

@@ -13,6 +13,23 @@ Every data center stores (Sec. IV / Fig. 5):
 
 All lookups purge expired entries lazily; a periodic sweep bounds
 memory between lookups.
+
+Vectorised matching
+-------------------
+Candidate scans (:meth:`LocalIndex.new_candidates` /
+:meth:`LocalIndex.probe`) are the hottest computation in the simulator:
+every NPER tick, every node with subscriptions recomputes MINDIST from
+each query point to each stored box.  Instead of calling
+:meth:`~repro.core.mbr.MBR.mindist` per entry, the store keeps a lazily
+rebuilt *block layout* — all boxes stacked into ``lows`` / ``highs`` /
+``expires`` arrays, one contiguous row-range per stream — so a scan is
+two broadcast ``np.maximum`` calls plus a row-max prefilter.  Rows whose
+largest clipped-distance component already exceeds ε cannot intersect
+the ball (the Euclidean norm of a non-negative vector is at least its
+max component); only surviving rows get the exact per-row
+``sqrt(dot(d, d))``, which is bit-identical to the scalar
+``MBR.mindist`` path — so vectorisation cannot change which candidates
+match, nor the reported distances (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..perf import counters as _opc
 from .mbr import MBR
 from .protocol import InnerProductSubscribe, SimilaritySubscribe
 
@@ -63,6 +81,14 @@ class LocalIndex:
         self.similarity_subs: Dict[int, StoredSimilaritySub] = {}
         self.inner_product_subs: Dict[int, StoredInnerProductSub] = {}
         self.registry: Dict[str, int] = {}
+        # Block layout over the MBR store (see module docstring):
+        # (ranges, lows, highs, expires) where ranges maps stream_id to
+        # its contiguous [start, stop) row range.  Rebuilt lazily after
+        # any store mutation; None when stale or when the store holds
+        # mixed dimensionalities (scalar fallback).
+        self._stack: Optional[
+            Tuple[Dict[str, Tuple[int, int]], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------
     # MBR store
@@ -70,6 +96,7 @@ class LocalIndex:
     def add_mbr(self, mbr: MBR, expires: float) -> None:
         """Store a summary MBR until its lifespan ends."""
         self._mbrs.setdefault(mbr.stream_id, []).append(StoredMBR(mbr, expires))
+        self._stack = None
 
     def mbr_count(self, now: Optional[float] = None) -> int:
         """Number of stored (live, if ``now`` given) MBRs."""
@@ -89,7 +116,9 @@ class LocalIndex:
         dropped = 0
         for sid in list(self._mbrs):
             kept = [e for e in self._mbrs[sid] if e.expires > now]
-            dropped += len(self._mbrs[sid]) - len(kept)
+            if len(kept) != len(self._mbrs[sid]):
+                dropped += len(self._mbrs[sid]) - len(kept)
+                self._stack = None
             if kept:
                 self._mbrs[sid] = kept
             else:
@@ -128,6 +157,103 @@ class LocalIndex:
     # ------------------------------------------------------------------
     # matching
     # ------------------------------------------------------------------
+    def _build_stack(
+        self,
+    ) -> Optional[Tuple[Dict[str, Tuple[int, int]], np.ndarray, np.ndarray, np.ndarray]]:
+        """(Re)build the block layout; ``None`` for empty/ragged stores."""
+        if not self._mbrs:
+            return None
+        dims = None
+        total = 0
+        for entries in self._mbrs.values():
+            for e in entries:
+                k = len(e.mbr.low)
+                if dims is None:
+                    dims = k
+                elif k != dims:
+                    return None  # mixed dimensionalities: scalar fallback
+            total += len(entries)
+        ranges: Dict[str, Tuple[int, int]] = {}
+        lows = np.empty((total, dims), dtype=np.float64)
+        highs = np.empty((total, dims), dtype=np.float64)
+        expires = np.empty(total, dtype=np.float64)
+        row = 0
+        for stream_id, entries in self._mbrs.items():
+            start = row
+            for e in entries:
+                lows[row] = e.mbr.low
+                highs[row] = e.mbr.high
+                expires[row] = e.expires
+                row += 1
+            ranges[stream_id] = (start, row)
+        return ranges, lows, highs, expires
+
+    def _scan(
+        self,
+        feature: np.ndarray,
+        radius: float,
+        now: float,
+        skip: Optional[set],
+    ) -> List[Tuple[str, float]]:
+        """Best live MINDIST per stream, vectorised (see module docstring).
+
+        Produces exactly what the scalar loop over ``MBR.mindist`` would:
+        the clipped-distance matrix is the same elementwise arithmetic,
+        the row-max prefilter only discards rows whose distance provably
+        exceeds ``radius``, and survivors get the identical per-row
+        ``sqrt(dot(d, d))``.
+        """
+        stack = self._stack
+        if stack is None:
+            if not self._mbrs:
+                return []
+            stack = self._stack = self._build_stack()
+        out: List[Tuple[str, float]] = []
+        if stack is None:
+            # Ragged store: scalar fallback, the original loop verbatim.
+            for stream_id, entries in self._mbrs.items():
+                if skip is not None and stream_id in skip:
+                    continue
+                best = None
+                for e in entries:
+                    if e.expires <= now:
+                        continue
+                    d = e.mbr.mindist(feature)
+                    if d <= radius and (best is None or d < best):
+                        best = d
+                if best is not None:
+                    out.append((stream_id, float(best)))
+            return out
+        ranges, lows, highs, expires = stack
+        q = np.asarray(feature, dtype=np.float64)
+        delta = np.maximum(lows - q, 0.0)
+        delta += np.maximum(q - highs, 0.0)
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("index.rows_scanned", len(delta))
+        # Prefilter: ||d|| >= max(d) for the non-negative clipped vector,
+        # so rows whose max component clears radius (with a small margin
+        # absorbing dot/sqrt rounding) cannot match.
+        candidate = (delta.max(axis=1) <= radius + 1e-9) & (expires > now)
+        if not candidate.any():
+            return out
+        for stream_id, (start, stop) in ranges.items():
+            if skip is not None and stream_id in skip:
+                continue
+            best = None
+            for row in range(start, stop):
+                if not candidate[row]:
+                    continue
+                dr = delta[row]
+                d = float(np.sqrt(np.dot(dr, dr)))
+                if c is not None:
+                    c.inc("index.rows_exact")
+                if d <= radius and (best is None or d < best):
+                    best = d
+            if best is not None:
+                out.append((stream_id, best))
+        return out
+
     def new_candidates(
         self, stored: StoredSimilaritySub, now: float
     ) -> List[Tuple[str, float]]:
@@ -138,35 +264,13 @@ class LocalIndex:
         matching the paper's "detected similarities" semantics where the
         middle node aggregates distinct candidates.
         """
-        q = stored.sub.feature
-        eps = stored.sub.radius
-        out: List[Tuple[str, float]] = []
-        for stream_id, entries in self._mbrs.items():
-            if stream_id in stored.reported:
-                continue
-            best = None
-            for e in entries:
-                if e.expires <= now:
-                    continue
-                d = e.mbr.mindist(q)
-                if d <= eps and (best is None or d < best):
-                    best = d
-            if best is not None:
-                stored.reported.add(stream_id)
-                out.append((stream_id, float(best)))
+        out = self._scan(
+            stored.sub.feature, stored.sub.radius, now, stored.reported
+        )
+        for stream_id, _ in out:
+            stored.reported.add(stream_id)
         return out
 
     def probe(self, feature: np.ndarray, radius: float, now: float) -> List[Tuple[str, float]]:
         """One-shot candidate scan (no reported-set bookkeeping)."""
-        out: List[Tuple[str, float]] = []
-        for stream_id, entries in self._mbrs.items():
-            best = None
-            for e in entries:
-                if e.expires <= now:
-                    continue
-                d = e.mbr.mindist(feature)
-                if d <= radius and (best is None or d < best):
-                    best = d
-            if best is not None:
-                out.append((stream_id, float(best)))
-        return out
+        return self._scan(feature, radius, now, None)

@@ -214,6 +214,7 @@ def payload(
         )
 
     def register(cls: Type) -> Type:
+        """Record ``cls`` with its spec in :data:`PAYLOAD_REGISTRY`."""
         if cls in PAYLOAD_REGISTRY:
             raise ValueError(f"payload type {cls.__name__} registered twice")
         PAYLOAD_REGISTRY[cls] = spec

@@ -97,6 +97,12 @@ class AggregatorService(RoleService):
     # ------------------------------------------------------------------
     @handles(SimilarityReport)
     def on_similarity_report(self, message: Message, payload: SimilarityReport) -> None:
+        """Absorb candidate batches from range nodes (Sec. IV-F).
+
+        Reports route to the query's middle *key*, so after churn they
+        reach the key's new owner, which lazily rebuilds the entry from
+        its replicated subscription (see :meth:`aggregator_for`).
+        """
         for query_id, matches in payload.matches.items():
             agg = self.aggregator_for(query_id)
             if agg is not None:
@@ -106,6 +112,7 @@ class AggregatorService(RoleService):
     # periodic duties
     # ------------------------------------------------------------------
     def on_notification_tick(self, now: float) -> None:
+        """Periodic duty: push not-yet-sent matches to each client."""
         self._push_aggregated_responses(now)
 
     def _push_aggregated_responses(self, now: float) -> None:

@@ -76,18 +76,22 @@ class RoleService:
     # must not touch the accessors their runtime cannot satisfy)
     @property
     def node(self):
+        """The Chord node this data center sits on."""
         return self.runtime.node
 
     @property
     def system(self):
+        """The :class:`StreamIndexSystem` assembly (overlay, network)."""
         return self.runtime.system
 
     @property
     def cfg(self):
+        """The node's :class:`MiddlewareConfig`."""
         return self.runtime.cfg
 
     @property
     def node_id(self) -> int:
+        """This data center's Chord identifier."""
         return self.runtime.node_id
 
     @property

@@ -278,6 +278,12 @@ class ClientService(RoleService):
     # ------------------------------------------------------------------
     @handles(ResponsePush)
     def on_response(self, message: Message, payload: ResponsePush) -> None:
+        """File an arriving result into the right per-query bucket.
+
+        One payload serves both query families (Sec. IV-D/F): an
+        inner-product value from a stream's source, or a batch of
+        similarity matches pushed by the query's aggregator.
+        """
         now = self._sim.now
         if not np.isnan(payload.inner_product):
             if payload.source_id >= 0:
@@ -317,6 +323,12 @@ class ClientService(RoleService):
 
     @handles(WindowReply)
     def on_window_reply(self, message: Message, payload: WindowReply) -> None:
+        """Complete a refine-phase window fetch.
+
+        Settles the fetch's reliable exchange, caches the answering
+        source, and hands the raw window to the waiting verification
+        callback (``verify_similarity``).
+        """
         self.locate_cache[payload.stream_id] = payload.source_id
         delivery_id = self._window_delivery.pop(payload.request_id, None)
         if delivery_id is not None:

@@ -48,6 +48,14 @@ class IndexHolderService(RoleService):
     # ------------------------------------------------------------------
     @handles(MbrPublish)
     def on_mbr(self, message: Message, payload: MbrPublish) -> None:
+        """Store a content-routed MBR and continue its range span.
+
+        The receive side of Sec. IV-C publication: the MBR lands on the
+        node owning its routed key, is leased into the local index for
+        ``lifespan_ms`` (BSPAN soft state), and — when its first-
+        coordinate interval spans several arcs — the range multicast is
+        continued toward the remaining covering nodes.
+        """
         self.index.add_mbr(payload.mbr, expires=self._sim.now + payload.lifespan_ms)
         if (
             self.system.hierarchy_index is not None
@@ -72,6 +80,13 @@ class IndexHolderService(RoleService):
     def on_similarity_subscribe(
         self, message: Message, payload: SimilaritySubscribe
     ) -> None:
+        """Install a similarity subscription replicated over the range.
+
+        Sec. IV-D: the query is replicated to every node covering
+        ``[h(q1 − r), h(q1 + r)]``; each range node stores it for the
+        periodic detect step, and the node owning the query's *middle
+        key* additionally becomes its aggregator (Sec. IV-F).
+        """
         expires = self._sim.now + payload.lifespan_ms
         self.index.add_similarity_sub(payload, expires=expires)
         if self.node.owns_key(payload.middle_key):
@@ -88,10 +103,22 @@ class IndexHolderService(RoleService):
 
     @handles(RegisterStream)
     def on_register_stream(self, message: Message, payload: RegisterStream) -> None:
+        """Record a stream's source in the ``h2`` registry (Sec. IV-D).
+
+        The secondary hash of the stream id lands here; the entry is the
+        location service used by inner-product queries and window
+        fetches.  Soft state: re-asserted every refresh tick.
+        """
         self.index.registry[payload.stream_id] = payload.source_id
 
     @handles(LocateRequest)
     def on_locate(self, message: Message, payload: LocateRequest) -> None:
+        """Resolve a stream id and forward the inner-product query.
+
+        Sec. IV-D: the location node does not answer the client; it
+        forwards the subscription straight to the stream's source (the
+        reply will carry the source id, filling the client's cache).
+        """
         source_id = self.index.registry.get(payload.query.stream_id)
         if source_id is None:
             return  # unknown stream: query is dropped (no such source yet)
@@ -137,6 +164,11 @@ class IndexHolderService(RoleService):
     # periodic duties
     # ------------------------------------------------------------------
     def on_notification_tick(self, now: float) -> None:
+        """Periodic duty: retire expired state, then detect/report.
+
+        The Sec. IV-F step — runs *first* in the tick order (§8 of
+        DESIGN.md) so aggregators push this round's candidates.
+        """
         self.index.purge(now)
         self._report_similarities(now)
 

@@ -170,6 +170,13 @@ class SourceService(RoleService):
     def on_inner_product_subscribe(
         self, message: Message, payload: InnerProductSubscribe
     ) -> None:
+        """Install an inner-product subscription at the stream's source.
+
+        Sec. IV-D/E: the query reached us through the ``h2`` location
+        service; the source stores it (in the co-located index, so
+        purging stays in one place) and answers from the summary alone
+        on each notification tick (Eq. 7).
+        """
         if payload.query.stream_id not in self.sources:
             return  # stale registry entry; the stream moved or vanished
         self.index.add_inner_product_sub(
@@ -178,6 +185,14 @@ class SourceService(RoleService):
 
     @handles(WindowRequest)
     def on_window_request(self, message: Message, payload: WindowRequest) -> None:
+        """Serve (or forward) a raw-window fetch of the refine phase.
+
+        Beyond the paper's letter: the two-phase filter-and-refine
+        pipeline lets a client verify index candidates against the raw
+        sliding window.  If we source the stream, reply with the window;
+        otherwise we are the ``h2`` location node — forward to the
+        registered source.
+        """
         src = self.sources.get(payload.stream_id)
         if src is not None:
             if not src.extractor.ready:
@@ -215,6 +230,7 @@ class SourceService(RoleService):
     # periodic duties
     # ------------------------------------------------------------------
     def on_notification_tick(self, now: float) -> None:
+        """Periodic duty: push fresh Eq. 7 inner-product results."""
         self._push_inner_products(now)
 
     def on_refresh_tick(self, now: float) -> None:

@@ -22,9 +22,10 @@ is *not* role logic:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set, Type
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple, Type
 
 from ..chord.node import ChordNode
+from ..perf import counters as _opc
 from ..sim.network import Message
 from .protocol import KIND, Ack, PayloadSpec, next_delivery_id, spec_of
 from .reliable import ReliableSender
@@ -66,6 +67,13 @@ class NodeRuntime:
         for service_cls in services:
             svc = self.dispatch.add_service(service_cls(self))
             self.roles[svc.role] = svc
+        #: flattened hot-path dispatch memo: payload type -> (spec, bound
+        #: handler or None).  Folds the two registry lookups ``deliver``
+        #: used to do (``spec_of`` + ``DispatchTable.lookup``) into one
+        #: dict probe.  Populated lazily so payload types registered
+        #: after construction still resolve; never caches unregistered
+        #: types (their spec may appear later).
+        self._route: Dict[Type, Tuple[PayloadSpec, Optional[Callable]]] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -77,10 +85,12 @@ class NodeRuntime:
 
     @property
     def sim(self):
+        """The shared discrete-event simulator (virtual clock)."""
         return self.system.sim
 
     @property
     def stats(self):
+        """The network's :class:`MessageStats` accounting object."""
         return self.system.network.stats
 
     def role(self, name: str) -> RoleService:
@@ -90,18 +100,22 @@ class NodeRuntime:
     # named accessors for the default Fig. 5 role set
     @property
     def holder(self) -> IndexHolderService:
+        """The index-holder role (Fig. 5): content-placed state."""
         return self.roles["index-holder"]
 
     @property
     def aggregator(self) -> AggregatorService:
+        """The aggregator role (Fig. 5): middle-node merge state."""
         return self.roles["aggregator"]
 
     @property
     def source(self) -> SourceService:
+        """The stream-source role (Fig. 5): local streams + batching."""
         return self.roles["source"]
 
     @property
     def client(self) -> ClientService:
+        """The client role (Fig. 5): posted queries and results."""
         return self.roles["client"]
 
     # ------------------------------------------------------------------
@@ -220,16 +234,24 @@ class NodeRuntime:
         if isinstance(payload, Ack):
             self.reliable.on_ack(payload.delivery_id)
             return
-        spec = spec_of(type(payload))
-        if spec is None:
-            self._on_unknown(node, message)
-            return
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("dispatch.delivered")
+        ptype = type(payload)
+        route = self._route.get(ptype)
+        if route is None:
+            spec = spec_of(ptype)
+            if spec is None:
+                self._on_unknown(node, message)
+                return
+            route = (spec, self.dispatch.lookup(ptype))
+            self._route[ptype] = route
+        spec, handler = route
         if spec.dedup and self._note_delivery(payload):
             self.stats.record_duplicate_suppressed(message.kind)
             self._maybe_ack(message, payload, spec)
             return
         self._maybe_ack(message, payload, spec)
-        handler = self.dispatch.lookup(type(payload))
         if handler is None:
             self._on_unknown(node, message)
             return

@@ -1,0 +1,50 @@
+"""Performance instrumentation and the ``repro bench`` harness.
+
+This package is the **only** place in the source tree where wall-clock
+timing is allowed (simlint D008 machine-enforces the boundary): the
+simulated world (``sim``/``chord``/``core``) stays a pure function of
+``(config, seed)`` and exposes its cost through *deterministic op
+counters* instead, while this package correlates those counts with
+wall time, memory and throughput.
+
+Layout
+------
+``counters``
+    The zero-dependency op-counter API threaded through the hot paths
+    (:mod:`repro.sim.engine`, :mod:`repro.sim.network`,
+    :mod:`repro.chord.routing`, :mod:`repro.core.runtime`).  Counting is
+    off by default and costs one module-attribute load + ``None`` check
+    per site when disabled.
+``schema``
+    The versioned ``BENCH_perf.json`` document model: build, validate,
+    round-trip, and regression-compare bench reports.
+``harness``
+    The canonical scenario suite behind ``python -m repro bench`` (ring
+    build, Fig. 6(a) load scenario, lossy seed-11, incremental-DFT
+    microbench) with wall-time / peak-RSS / events-per-second
+    measurement.
+
+See PERFORMANCE.md for the methodology and the measured numbers.
+"""
+
+from .counters import OpCounters, counting, install, installed, uninstall
+from .schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    compare_reports,
+    load_report,
+    validate_report,
+)
+
+__all__ = [
+    "OpCounters",
+    "counting",
+    "install",
+    "installed",
+    "uninstall",
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
+    "compare_reports",
+    "load_report",
+    "validate_report",
+]

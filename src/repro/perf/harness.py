@@ -1,0 +1,354 @@
+"""The canonical bench suite behind ``python -m repro bench``.
+
+Four scenarios, chosen to cover the three hot paths the profiler
+singles out (event engine, per-hop network + routing, summary
+maintenance) plus the lossy/churn configuration that exercises the
+reliability machinery:
+
+``ring_build``
+    Construct a Chord ring from scratch (``ChordRing.build``), which is
+    dominated by finger-table computation — the static-routing cost.
+``fig6a_load``
+    The paper's Fig. 6(a) load scenario (Sec. V setup, N=50 default):
+    the end-to-end number the ≥1.5× speedup target is measured on.
+``lossy_seed11``
+    The determinism-regression scenario (16 nodes, loss/dup/churn,
+    seed 11) — reliability hot paths; its stats CSV digest doubles as
+    byte-identity evidence in the report.
+``dft_incremental``
+    Pure summary-pipeline microbench: per-arrival incremental DFT
+    updates (paper Eq. 5), scalar and bank-vectorised.
+
+This module is *inside* ``repro.perf`` and therefore allowed to read
+wall clocks (``time.perf_counter``) and process RSS — the rest of the
+source tree is not (simlint D008).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from .counters import OpCounters, counting
+from .schema import BenchReport, Regression, ScenarioResult, compare_reports, load_report
+
+__all__ = [
+    "run_suite",
+    "run_bench",
+    "DEFAULT_REPORT_PATH",
+    "DEFAULT_BASELINE_PATH",
+    "SPEEDUP_REF_PATH",
+]
+
+#: default output location — the repo root, per the bench trajectory.
+DEFAULT_REPORT_PATH = "BENCH_perf.json"
+#: committed regression-gate baseline (CI compares against this).
+DEFAULT_BASELINE_PATH = "benchmarks/perf_baseline.json"
+#: committed pre-optimization reference used to report the speedup.
+SPEEDUP_REF_PATH = "benchmarks/perf_prepr.json"
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in kB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _measure(
+    name: str,
+    fn: Callable[[], Tuple[Optional[int], Dict[str, float], Dict[str, object]]],
+) -> ScenarioResult:
+    """Run one scenario under op counting and wall-clock timing.
+
+    ``fn`` returns ``(events, throughput, meta)``; everything else
+    (wall, RSS, events/sec, op snapshot) is measured here so every
+    scenario reports the same way.
+    """
+    ops = OpCounters()
+    start = time.perf_counter()
+    with counting(ops):
+        events, throughput, meta = fn()
+    wall = time.perf_counter() - start
+    events_per_s = (events / wall) if (events is not None and wall > 0) else None
+    return ScenarioResult(
+        name=name,
+        wall_s=wall,
+        peak_rss_kb=_peak_rss_kb(),
+        events=events,
+        events_per_s=events_per_s,
+        throughput=throughput,
+        ops=ops.snapshot(),
+        meta=meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def _scenario_ring_build(quick: bool) -> ScenarioResult:
+    from ..chord.ring import ChordRing
+
+    n_nodes = 100 if quick else 300
+    rounds = 3
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            ring = ChordRing(m=32)
+            for i in range(n_nodes):
+                ring.create_node(f"dc-{i}")
+            ring.build()
+        elapsed = time.perf_counter() - t0
+        built_per_s = (rounds * n_nodes) / elapsed if elapsed > 0 else 0.0
+        return None, {"nodes_built_per_s": built_per_s}, {
+            "n_nodes": n_nodes,
+            "rounds": rounds,
+            "m": 32,
+        }
+
+    return _measure("ring_build", body)
+
+
+def _scenario_fig6a(quick: bool) -> ScenarioResult:
+    from ..core.config import MiddlewareConfig
+    from ..workload.scenario import run_measured
+
+    n_nodes = 50
+    warmup_ms = 2_000.0 if quick else 5_000.0
+    measure_ms = 4_000.0 if quick else 15_000.0
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        run = run_measured(
+            n_nodes,
+            config=MiddlewareConfig(batch_size=1),
+            seed=0,
+            warmup_extra_ms=warmup_ms,
+            measure_ms=measure_ms,
+        )
+        events = run.system.sim.events_processed
+        return events, {}, {
+            "n_nodes": n_nodes,
+            "seed": 0,
+            "batch_size": 1,
+            "warmup_extra_ms": warmup_ms,
+            "measure_ms": measure_ms,
+            "queries_posted": run.queries_posted,
+        }
+
+    return _measure("fig6a_load", body)
+
+
+def _scenario_lossy_seed11(quick: bool) -> ScenarioResult:
+    from ..bench.export import stats_to_csv_string
+    from ..core import (
+        MiddlewareConfig,
+        SimilarityQuery,
+        StreamIndexSystem,
+        WorkloadConfig,
+    )
+    from ..workload import ChurnWorkload
+
+    measure_ms = 4_000.0 if quick else 8_000.0
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        # Mirrors tests/integration/test_determinism.py::_run_lossy_once so
+        # the digest below is comparable against the determinism suite.
+        config = MiddlewareConfig(
+            m=16,
+            window_size=16,
+            k=2,
+            batch_size=2,
+            reliable_delivery=True,
+            refresh_period_ms=2_000.0,
+            loss_rate=0.05,
+            duplicate_rate=0.01,
+            workload=WorkloadConfig(
+                pmin_ms=100.0,
+                pmax_ms=150.0,
+                bspan_ms=5_000.0,
+                qrate_per_s=0.0,
+                nper_ms=500.0,
+            ),
+        )
+        system = StreamIndexSystem(16, config, seed=11, with_stabilizer=True)
+        system.attach_random_walk_streams()
+        system.warmup()
+        client = system.app(0)
+        donor_app = system.app(4)
+        donor = next(iter(donor_app.sources.values()))
+        churn = ChurnWorkload(
+            system,
+            fail_rate_per_s=0.2,
+            join_rate_per_s=0.2,
+            protect=[client.node_id, donor_app.node_id],
+        ).start()
+        system.reset_stats()
+        client.post_similarity_query(
+            SimilarityQuery(
+                pattern=donor.extractor.window.values(),
+                radius=0.4,
+                lifespan_ms=measure_ms + 5_000.0,
+            )
+        )
+        system.run(measure_ms)
+        churn.stop()
+        csv = stats_to_csv_string(system.network.stats)
+        digest = hashlib.sha256(csv.encode()).hexdigest()
+        return system.sim.events_processed, {}, {
+            "n_nodes": 16,
+            "seed": 11,
+            "measure_ms": measure_ms,
+            "stats_sha256": digest,
+        }
+
+    return _measure("lossy_seed11", body)
+
+
+def _scenario_dft_incremental(quick: bool) -> ScenarioResult:
+    from ..sim.rng import RngRegistry
+    from ..streams.dft import SlidingDFT, SlidingDFTBank
+
+    n, k = 128, 8
+    n_streams = 64
+    steps = 1_000 if quick else 5_000
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        rngs = RngRegistry(seed=0)
+        rng = rngs.get("perf-dft")
+        windows = rng.standard_normal((n_streams, n))
+        arrivals = rng.standard_normal((steps, n_streams))
+
+        # Scalar path: one SlidingDFT per stream, Python loop per arrival.
+        dfts = [SlidingDFT(n, k, refresh_every=None) for _ in range(n_streams)]
+        for s, dft in enumerate(dfts):
+            dft.initialize(windows[s])
+        heads = windows.copy()
+        t0 = time.perf_counter()
+        for t in range(steps):
+            evicted = heads[:, t % n].copy()
+            for s, dft in enumerate(dfts):
+                dft.update(float(arrivals[t, s]), float(evicted[s]))
+            heads[:, t % n] = arrivals[t]
+        scalar_s = time.perf_counter() - t0
+
+        # Vectorised path: one SlidingDFTBank, one array op per arrival tick.
+        bank = SlidingDFTBank(n_streams, n, k)
+        bank.initialize(windows)
+        heads = windows.copy()
+        t0 = time.perf_counter()
+        for t in range(steps):
+            evicted = heads[:, t % n].copy()
+            bank.update(arrivals[t], evicted)
+            heads[:, t % n] = arrivals[t]
+        bank_s = time.perf_counter() - t0
+
+        updates = steps * n_streams
+        return None, {
+            "scalar_updates_per_s": updates / scalar_s if scalar_s > 0 else 0.0,
+            "bank_updates_per_s": updates / bank_s if bank_s > 0 else 0.0,
+        }, {
+            "window": n,
+            "k": k,
+            "streams": n_streams,
+            "steps": steps,
+        }
+
+    return _measure("dft_incremental", body)
+
+
+_SCENARIOS: Tuple[Tuple[str, Callable[[bool], ScenarioResult]], ...] = (
+    ("ring_build", _scenario_ring_build),
+    ("fig6a_load", _scenario_fig6a),
+    ("lossy_seed11", _scenario_lossy_seed11),
+    ("dft_incremental", _scenario_dft_incremental),
+)
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+def run_suite(
+    *,
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    out: Optional[TextIO] = None,
+) -> BenchReport:
+    """Execute the scenario suite and return the populated report."""
+    out = out if out is not None else sys.stdout
+    known = [name for name, _ in _SCENARIOS]
+    if only:
+        unknown = sorted(set(only) - set(known))
+        if unknown:
+            raise ValueError(f"unknown scenario(s) {unknown}; choose from {known}")
+    report = BenchReport(profile="quick" if quick else "full")
+    for name, runner in _SCENARIOS:
+        if only and name not in only:
+            continue
+        print(f"bench: {name} ...", file=out, flush=True)
+        result = report.add(runner(quick))
+        line = f"bench: {name} done in {result.wall_s:.2f}s"
+        if result.events_per_s is not None:
+            line += f" ({result.events_per_s:,.0f} events/s)"
+        print(line, file=out, flush=True)
+    return report
+
+
+def _apply_speedup_ref(report: BenchReport, ref_path: Path, out: TextIO) -> None:
+    """Annotate scenarios with speedup vs the pre-optimization reference."""
+    ref = load_report(ref_path)
+    for name, scenario in report.scenarios.items():
+        base = ref.scenarios.get(name)
+        if base is None or base.events_per_s is None or scenario.events_per_s is None:
+            continue
+        speedup = scenario.events_per_s / base.events_per_s
+        scenario.meta["pre_optimization_events_per_s"] = base.events_per_s
+        scenario.meta["speedup_vs_pre_optimization"] = speedup
+        print(
+            f"bench: {name} speedup vs pre-optimization reference: "
+            f"{speedup:.2f}x",
+            file=out,
+        )
+
+
+def run_bench(
+    *,
+    output: str = DEFAULT_REPORT_PATH,
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    check: Optional[str] = None,
+    max_regression: float = 0.25,
+    speedup_ref: Optional[str] = SPEEDUP_REF_PATH,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Full ``repro bench`` behaviour: run, annotate, write, gate.
+
+    Returns a process exit code: 0 on success, 1 when ``check`` is given
+    and any scenario regressed more than ``max_regression``.
+    """
+    out = out if out is not None else sys.stdout
+    report = run_suite(quick=quick, only=only, out=out)
+    if speedup_ref and Path(speedup_ref).is_file():
+        _apply_speedup_ref(report, Path(speedup_ref), out)
+    path = report.write(output)
+    print(f"bench: report written to {path}", file=out)
+    if check is None:
+        return 0
+    baseline = load_report(check)
+    regressions: List[Regression] = compare_reports(
+        report, baseline, max_regression=max_regression
+    )
+    if regressions:
+        for regression in regressions:
+            print(f"bench: REGRESSION {regression.describe()}", file=out)
+        return 1
+    print(
+        f"bench: no regression vs {check} "
+        f"(gate: {max_regression * 100:.0f}% events/s)",
+        file=out,
+    )
+    return 0

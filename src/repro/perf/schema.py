@@ -1,0 +1,240 @@
+"""The versioned ``BENCH_perf.json`` document model.
+
+``python -m repro bench`` emits one JSON report at the repo root; CI
+uploads it as an artifact and gates merges on throughput regressions
+against a committed baseline (``benchmarks/perf_baseline.json``).  This
+module owns the document shape so producers, the regression gate and
+the round-trip tests all agree on one schema.
+
+Schema (version 1)
+------------------
+::
+
+    {
+      "schema_version": 1,
+      "suite": "repro-bench",
+      "profile": "full" | "quick",
+      "scenarios": {
+        "<name>": {
+          "wall_s": float,          # wall-clock of the measured phase
+          "peak_rss_kb": int,       # ru_maxrss after the scenario (kB)
+          "events": int | null,     # simulator events in the phase
+          "events_per_s": float | null,
+          "throughput": {"<metric>": float, ...},   # scenario extras
+          "ops": {"<counter>": int, ...},           # deterministic
+          "meta": {...}             # free-form scenario parameters
+        }, ...
+      }
+    }
+
+``ops`` counts are deterministic (identical across runs/machines for a
+given config+seed); everything else is host-dependent measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SchemaError",
+    "ScenarioResult",
+    "BenchReport",
+    "validate_report",
+    "load_report",
+    "compare_reports",
+    "Regression",
+]
+
+BENCH_SCHEMA_VERSION = 1
+"""Bump when the JSON document shape changes incompatibly."""
+
+SUITE_NAME = "repro-bench"
+
+PathLike = Union[str, Path]
+
+
+class SchemaError(ValueError):
+    """Raised when a bench document does not match the schema."""
+
+
+@dataclass
+class ScenarioResult:
+    """Measured result of one bench scenario."""
+
+    name: str
+    wall_s: float
+    peak_rss_kb: int
+    events: Optional[int] = None
+    events_per_s: Optional[float] = None
+    throughput: Dict[str, float] = field(default_factory=dict)
+    ops: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-ready mapping for this scenario."""
+        return {
+            "wall_s": self.wall_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "throughput": dict(self.throughput),
+            "ops": {k: self.ops[k] for k in sorted(self.ops)},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Any]) -> "ScenarioResult":
+        """Parse one scenario entry (validation happens in the caller)."""
+        return cls(
+            name=name,
+            wall_s=float(data["wall_s"]),
+            peak_rss_kb=int(data["peak_rss_kb"]),
+            events=None if data.get("events") is None else int(data["events"]),
+            events_per_s=(
+                None
+                if data.get("events_per_s") is None
+                else float(data["events_per_s"])
+            ),
+            throughput=dict(data.get("throughput", {})),
+            ops={k: int(v) for k, v in data.get("ops", {}).items()},
+            meta=dict(data.get("meta", {})),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One full bench run: every scenario plus run-level metadata."""
+
+    profile: str = "full"
+    scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
+
+    def add(self, result: ScenarioResult) -> ScenarioResult:
+        """Record a scenario result (name-keyed)."""
+        self.scenarios[result.name] = result
+        return result
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The complete JSON document as a mapping."""
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "suite": SUITE_NAME,
+            "profile": self.profile,
+            "scenarios": {
+                name: self.scenarios[name].to_dict()
+                for name in sorted(self.scenarios)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchReport":
+        """Parse and validate a JSON document into a report."""
+        validate_report(data)
+        report = cls(profile=data["profile"])
+        for name, entry in data["scenarios"].items():
+            report.add(ScenarioResult.from_dict(name, entry))
+        return report
+
+    def write(self, path: PathLike) -> Path:
+        """Write the report as stably formatted JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def validate_report(data: Any) -> None:
+    """Raise :class:`SchemaError` unless ``data`` is a valid version-1 doc."""
+    if not isinstance(data, dict):
+        raise SchemaError(f"bench document must be an object, got {type(data).__name__}")
+    version = data.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} (expected {BENCH_SCHEMA_VERSION})"
+        )
+    if data.get("suite") != SUITE_NAME:
+        raise SchemaError(f"unknown suite {data.get('suite')!r}")
+    if not isinstance(data.get("profile"), str):
+        raise SchemaError("profile must be a string")
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise SchemaError("scenarios must be a non-empty object")
+    for name, entry in scenarios.items():
+        if not isinstance(entry, dict):
+            raise SchemaError(f"scenario {name!r} must be an object")
+        for key in ("wall_s", "peak_rss_kb"):
+            if not isinstance(entry.get(key), (int, float)) or isinstance(
+                entry.get(key), bool
+            ):
+                raise SchemaError(f"scenario {name!r} missing numeric {key!r}")
+        for key in ("events", "events_per_s"):
+            value = entry.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                raise SchemaError(f"scenario {name!r} field {key!r} must be numeric or null")
+        ops = entry.get("ops", {})
+        if not isinstance(ops, dict) or any(
+            not isinstance(v, int) or isinstance(v, bool) for v in ops.values()
+        ):
+            raise SchemaError(f"scenario {name!r} ops must map names to integers")
+
+
+def load_report(path: PathLike) -> BenchReport:
+    """Read and validate a bench JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read bench report {path}: {exc}") from exc
+    return BenchReport.from_dict(data)
+
+
+@dataclass
+class Regression:
+    """One scenario whose throughput dropped past the allowed budget."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (below 1.0 means slower than baseline)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CI logs."""
+        return (
+            f"{self.scenario}.{self.metric}: {self.current:,.0f} vs baseline "
+            f"{self.baseline:,.0f} ({(1.0 - self.ratio) * 100.0:.1f}% slower)"
+        )
+
+
+def compare_reports(
+    current: BenchReport, baseline: BenchReport, *, max_regression: float = 0.25
+) -> List[Regression]:
+    """Throughput regressions of ``current`` against ``baseline``.
+
+    Compares ``events_per_s`` for every scenario present in both
+    reports (scenarios missing on either side are skipped — the suite
+    may grow).  A scenario regresses when its throughput falls below
+    ``(1 - max_regression)`` of the baseline value.
+    """
+    if not (0.0 < max_regression < 1.0):
+        raise ValueError(f"max_regression must be in (0, 1), got {max_regression}")
+    regressions: List[Regression] = []
+    for name in sorted(set(current.scenarios) & set(baseline.scenarios)):
+        base = baseline.scenarios[name].events_per_s
+        cur = current.scenarios[name].events_per_s
+        if base is None or cur is None or base <= 0:
+            continue
+        if cur < base * (1.0 - max_regression):
+            regressions.append(
+                Regression(
+                    scenario=name, metric="events_per_s", baseline=base, current=cur
+                )
+            )
+    return regressions

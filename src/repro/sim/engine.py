@@ -14,19 +14,36 @@ Design notes
 * The event queue is a binary heap of ``(time, seq, handle)`` entries.
   ``seq`` is a monotonically increasing tiebreaker so that events
   scheduled for the same instant fire in FIFO order and the simulation
-  is fully deterministic.
+  is fully deterministic.  Entries stay plain tuples on purpose: heap
+  sifting then compares floats/ints at C speed instead of calling a
+  Python-level ``__lt__``.
 * Cancellation is *lazy*: :meth:`EventHandle.cancel` marks the handle and
   the main loop discards cancelled entries when they surface.  This keeps
   ``schedule``/``cancel`` at O(log n)/O(1).
+* Handles are **pooled** (see PERFORMANCE.md): the run loop recycles a
+  fired handle onto a free list when ``sys.getrefcount`` proves the
+  engine holds the only reference, so steady-state scheduling allocates
+  no handle objects.  Holding on to a returned handle (as timers and
+  reliable-delivery retries do) simply keeps it out of the pool — a
+  retained handle is never reused under the caller's feet.
+* The engine itself never reads wall clocks or RNGs (simlint D002/D008);
+  its cost is exposed through the deterministic op counters of
+  :mod:`repro.perf.counters` instead.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+import sys
+from typing import Any, Callable, Optional, Tuple
+
+from ..perf import counters as _opc
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+#: free-list bound: enough to absorb any realistic cancelled-entry burst
+#: without letting a pathological one pin memory.
+_POOL_LIMIT = 4096
 
 
 class SimulationError(RuntimeError):
@@ -37,7 +54,6 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -48,35 +64,53 @@ class EventHandle:
     seq:
         FIFO tiebreaker assigned by the simulator.
     fn:
-        The zero-argument callback to invoke (arguments are bound at
-        scheduling time).
+        The callback to invoke with ``args`` (``None`` once the event
+        has fired or been cancelled).
+    args:
+        Positional arguments bound at scheduling time.  Stored on the
+        handle instead of inside a closure so the hot path allocates no
+        lambda per event.
     cancelled:
         ``True`` once :meth:`cancel` has been called; the engine skips
         cancelled events when they reach the head of the queue.
     """
 
-    time: float
-    seq: int
-    fn: Optional[Callable[[], None]]
-    cancelled: bool = field(default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Optional[Callable[..., None]],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
         self.cancelled = True
         self.fn = None  # release closure references early
+        self.args = ()
 
     @property
     def pending(self) -> bool:
         """Whether the event is still scheduled to fire."""
         return not self.cancelled and self.fn is not None
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self.pending else ("cancelled" if self.cancelled else "fired")
+        return f"EventHandle(t={self.time!r}, seq={self.seq}, {state})"
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
 
     The simulator owns the simulated clock and an event queue.  Events
-    are zero-argument callables; use :func:`functools.partial` or bound
-    methods to carry state.
+    are callables scheduled with pre-bound positional arguments.
 
     Examples
     --------
@@ -92,6 +126,7 @@ class Simulator:
         self._now: float = 0.0
         self._seq: int = 0
         self._queue: list[tuple[float, int, EventHandle]] = []
+        self._pool: list[EventHandle] = []
         self._running: bool = False
         self._stopped: bool = False
         self._events_processed: int = 0
@@ -113,6 +148,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of queue entries, including not-yet-discarded cancelled ones."""
         return len(self._queue)
+
+    @property
+    def pooled_handles(self) -> int:
+        """Size of the handle free list (introspection for tests/benchmarks)."""
+        return len(self._pool)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -155,11 +195,38 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} < now={self._now!r}"
             )
-        bound = (lambda: fn(*args)) if args else fn
-        handle = EventHandle(time=time, seq=self._seq, fn=bound)
-        self._seq += 1
-        heapq.heappush(self._queue, (time, handle.seq, handle))
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, seq, fn, args)
+        heapq.heappush(self._queue, (time, seq, handle))
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("sim.scheduled")
         return handle
+
+    def _recycle(self, handle: EventHandle) -> None:
+        """Return a spent handle to the pool if nothing else references it.
+
+        At the ``getrefcount`` call the engine-owned references are
+        exactly three: the run-loop local, this function's parameter and
+        ``getrefcount``'s own argument.  A count of 3 therefore proves no
+        caller kept the handle, so reusing it can never alias a live
+        reference (timers, reliable-delivery retries and tests that
+        retain handles keep the count higher and opt out automatically).
+        """
+        if len(self._pool) < _POOL_LIMIT and sys.getrefcount(handle) == 3:
+            handle.fn = None
+            handle.args = ()
+            self._pool.append(handle)
 
     # ------------------------------------------------------------------
     # execution
@@ -180,24 +247,40 @@ class Simulator:
         self._stopped = False
         self._running = True
         processed = 0
+        discarded = 0
+        queue = self._queue
         try:
-            while self._queue and not self._stopped:
-                time, _seq, handle = self._queue[0]
+            while queue and not self._stopped:
+                time = queue[0][0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                if handle.cancelled or handle.fn is None:
+                _, _, handle = heapq.heappop(queue)
+                fn = handle.fn
+                if handle.cancelled or fn is None:
+                    discarded += 1
+                    self._recycle(handle)
                     continue
                 self._now = time
-                fn = handle.fn
+                args = handle.args
                 handle.fn = None  # mark as fired
-                fn()
+                handle.args = ()
+                if args:
+                    fn(*args)
+                else:
+                    fn()
+                self._recycle(handle)
                 self._events_processed += 1
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     break
         finally:
             self._running = False
+            c = _opc.ACTIVE
+            if c is not None:
+                if processed:
+                    c.inc("sim.events", processed)
+                if discarded:
+                    c.inc("sim.cancelled_discarded", discarded)
         if until is not None and not self._stopped and self._now < until:
             self._now = until
 
@@ -212,13 +295,23 @@ class Simulator:
         """
         while self._queue:
             time, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled or handle.fn is None:
+            fn = handle.fn
+            if handle.cancelled or fn is None:
+                self._recycle(handle)
                 continue
             self._now = time
-            fn = handle.fn
+            args = handle.args
             handle.fn = None
-            fn()
+            handle.args = ()
+            if args:
+                fn(*args)
+            else:
+                fn()
+            self._recycle(handle)
             self._events_processed += 1
+            c = _opc.ACTIVE
+            if c is not None:
+                c.inc("sim.events")
             return True
         return False
 

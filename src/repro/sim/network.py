@@ -24,6 +24,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
+from ..perf import counters as _opc
 from .engine import Simulator
 from .faults import DROP_DEAD_DEST, FaultInjector
 
@@ -348,11 +349,16 @@ class Network:
         if self.tracer is not None:
             self.tracer.record_send(self.sim.now, src, dst, msg)
         msg.hops += 1
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("net.hops")
 
         if self.injector is not None:
             verdict = self.injector.judge(src, dst, msg.kind, self.sim.now)
             if verdict.dropped:
                 self.stats.record_drop(msg.kind, verdict.drop_reason)
+                if c is not None:
+                    c.inc("net.drops")
                 return
             delay = verdict.delay_ms
             dup_delay = verdict.duplicate_delay_ms
@@ -360,22 +366,32 @@ class Network:
             delay = self.hop_delay_ms
             dup_delay = None
 
-        def _arrive(m: Message) -> None:
-            self.in_flight -= 1
-            if self.liveness is not None and not self.liveness(dst):
-                self.stats.record_drop(m.kind, DROP_DEAD_DEST)
-                return
-            self.stats.record_receive(dst, m.kind)
-            on_arrival(m)
-
         self.in_flight += 1
-        self.sim.schedule(delay, _arrive, msg)
+        self.sim.schedule(delay, self._arrive, dst, on_arrival, msg)
         if dup_delay is not None:
             # The copy keeps msg_id/root_id (it *is* the same logical
             # message) but routes independently from here on.
             self.stats.record_duplicate(msg.kind)
+            if c is not None:
+                c.inc("net.duplicates")
             self.in_flight += 1
-            self.sim.schedule(dup_delay, _arrive, replace(msg))
+            self.sim.schedule(dup_delay, self._arrive, dst, on_arrival, replace(msg))
+
+    def _arrive(
+        self, dst: int, on_arrival: Callable[[Message], None], m: Message
+    ) -> None:
+        """Complete one physical hop at ``dst`` (scheduled by :meth:`hop`).
+
+        A bound method with pre-bound arguments instead of a per-hop
+        closure: the handle-pooled engine stores the argument tuple, so
+        steady-state hops allocate no function objects.
+        """
+        self.in_flight -= 1
+        if self.liveness is not None and not self.liveness(dst):
+            self.stats.record_drop(m.kind, DROP_DEAD_DEST)
+            return
+        self.stats.record_receive(dst, m.kind)
+        on_arrival(m)
 
     def record_delivery(self, node: int, msg: Message) -> None:
         """Record final delivery of a logical message (stats + trace)."""
@@ -387,7 +403,11 @@ class Network:
         """Deliver ``msg`` to ``node`` itself without a network hop.
 
         Used when the routing source already covers the destination key:
-        no message is sent, nothing is counted, the callback runs
-        immediately (still via the scheduler, for ordering determinism).
+        no message is sent, nothing enters the figure statistics, the
+        callback runs immediately (still via the scheduler, for ordering
+        determinism).
         """
-        self.sim.schedule(0.0, lambda: on_arrival(msg))
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("net.local")
+        self.sim.schedule(0.0, on_arrival, msg)

@@ -25,7 +25,7 @@ per arrival and derives the normalized features on demand — the paper's
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,25 @@ def _check_mode(mode: str) -> None:
         raise ValueError(f"unknown normalization mode {mode!r}; use one of {NORMALIZATION_MODES}")
 
 
+_SCALE_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _fold_scale(k: int, n: int) -> np.ndarray:
+    """The per-component conjugate-fold scale of :func:`_layout`, cached.
+
+    The vector depends only on ``(k, n)`` and every extractor of a given
+    configuration asks for the same one on every arrival, so it is built
+    once and shared (callers treat it as read-only).
+    """
+    cached = _SCALE_CACHE.get((k, n))
+    if cached is None:
+        cached = np.full(k, np.sqrt(2.0))
+        if n % 2 == 0 and 1 <= n // 2 <= k:
+            cached[n // 2 - 1] = 1.0  # the Nyquist bin is its own conjugate
+        _SCALE_CACHE[(k, n)] = cached
+    return cached
+
+
 def _layout(coeffs: np.ndarray, mode: str, n: int) -> np.ndarray:
     """Flatten complex coefficients into the real feature vector.
 
@@ -84,10 +103,7 @@ def _layout(coeffs: np.ndarray, mode: str, n: int) -> np.ndarray:
     """
     tail = coeffs[1:]
     k = len(tail)
-    scale = np.full(k, np.sqrt(2.0))
-    for i in range(k):
-        if (i + 1) * 2 == n:  # the Nyquist bin is its own conjugate
-            scale[i] = 1.0
+    scale = _fold_scale(k, n)
     inter = np.empty(2 * k, dtype=np.float64)
     inter[0::2] = tail.real * scale
     inter[1::2] = tail.imag * scale
@@ -221,7 +237,9 @@ class IncrementalFeatureExtractor:
         if not self.window.full:
             raise RuntimeError("window not yet full; no features available")
         n = self.window_size
-        raw = self._dft.coefficients  # X_0 .. X_k of the raw window
+        # peek() avoids a per-arrival defensive copy; every mode below
+        # derives fresh arrays from `raw` without writing through it.
+        raw = self._dft.peek()  # X_0 .. X_k of the raw window
         if self.mode == "z":
             mu = self._sum / n
             var = max(0.0, self._sumsq / n - mu * mu)

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D007)."""
+"""Positive and negative cases for every simlint rule (D001–D008)."""
 
 import textwrap
 
@@ -19,7 +19,7 @@ def codes(findings):
 
 def test_registry_is_complete():
     assert all_rule_codes() == [
-        "D001", "D002", "D003", "D004", "D005", "D006", "D007",
+        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -342,3 +342,35 @@ def test_d007_allows_handles_of_registered_payloads(tmp_path):
         )
         == []
     )
+
+
+# ---------------------------------------------------------------- D008
+def test_d008_flags_perf_timer_outside_sanctioned_homes(tmp_path):
+    source = """\
+    import time
+    from time import perf_counter
+
+    def measure():
+        t0 = time.perf_counter()
+        time.process_time_ns()
+        return perf_counter() - t0
+    """
+    findings = run_lint(tmp_path, "analysis/timing.py", source)
+    # one from-import + two calls (the bare perf_counter() name is not
+    # resolvable as a dotted time.* chain, but its import is flagged)
+    assert codes(findings) == ["D008", "D008", "D008"]
+
+
+def test_d008_allows_perf_package_benchmarks_and_tests(tmp_path):
+    source = "import time\nt = time.perf_counter()\n"
+    assert run_lint(tmp_path, "perf/harness.py", source) == []
+    assert run_lint(tmp_path, "benchmarks/bench_x.py", source) == []
+    assert run_lint(tmp_path, "tests/test_speed.py", source) == []
+
+
+def test_d008_does_not_flag_simulated_time(tmp_path):
+    clean = """\
+    def tick(sim):
+        return sim.now + 50.0
+    """
+    assert run_lint(tmp_path, "workload/scenario.py", clean) == []

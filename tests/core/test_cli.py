@@ -45,6 +45,7 @@ def test_parser_lists_all_commands():
         "baselines",
         "ring-stats",
         "lossy",
+        "bench",
         "lint",
         "protocol",
     }

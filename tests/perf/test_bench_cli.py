@@ -1,0 +1,109 @@
+"""`python -m repro bench`: report emission and the regression gate."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.harness import run_bench
+from repro.perf.schema import load_report
+
+
+def test_bench_cli_writes_valid_report(tmp_path):
+    out = io.StringIO()
+    path = tmp_path / "BENCH_perf.json"
+    code = main(
+        [
+            "bench",
+            "--quick",
+            "--only",
+            "ring_build",
+            "--output",
+            str(path),
+        ],
+        out=out,
+    )
+    assert code == 0
+    report = load_report(path)  # validates the schema
+    assert report.profile == "quick"
+    assert set(report.scenarios) == {"ring_build"}
+    scen = report.scenarios["ring_build"]
+    assert scen.wall_s > 0
+    assert scen.peak_rss_kb > 0
+    assert scen.throughput["nodes_built_per_s"] > 0
+    assert "report written" in out.getvalue()
+
+
+def test_bench_unknown_scenario_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_bench(
+            output=str(tmp_path / "x.json"),
+            quick=True,
+            only=["no_such_scenario"],
+            out=io.StringIO(),
+        )
+
+
+def test_bench_check_gate_and_speedup_annotation(tmp_path):
+    """One quick lossy run drives the gate both ways plus the annotation."""
+    out = io.StringIO()
+    current = tmp_path / "current.json"
+    assert (
+        run_bench(
+            output=str(current),
+            quick=True,
+            only=["lossy_seed11"],
+            speedup_ref=None,
+            out=out,
+        )
+        == 0
+    )
+    doc = json.loads(current.read_text())
+    scen = doc["scenarios"]["lossy_seed11"]
+    assert scen["events_per_s"] is not None and scen["events_per_s"] > 0
+
+    # Baseline identical to current: no regression, exit 0.  A slower
+    # baseline (half throughput) used as a speedup reference annotates
+    # the scenario meta with a ~2x speedup.
+    ok_baseline = tmp_path / "baseline_ok.json"
+    ok_baseline.write_text(current.read_text())
+    slower = json.loads(current.read_text())
+    slower["scenarios"]["lossy_seed11"]["events_per_s"] = scen["events_per_s"] / 2
+    ref = tmp_path / "prepr_ref.json"
+    ref.write_text(json.dumps(slower))
+    gate_out = io.StringIO()
+    annotated = tmp_path / "r1.json"
+    assert (
+        run_bench(
+            output=str(annotated),
+            quick=True,
+            only=["lossy_seed11"],
+            check=str(ok_baseline),
+            speedup_ref=str(ref),
+            out=gate_out,
+        )
+        == 0
+    )
+    assert "no regression" in gate_out.getvalue()
+    meta = load_report(annotated).scenarios["lossy_seed11"].meta
+    assert meta["speedup_vs_pre_optimization"] > 1.0
+
+    # Baseline claiming absurd throughput: gate must fail with exit 1.
+    fast = json.loads(current.read_text())
+    fast["scenarios"]["lossy_seed11"]["events_per_s"] = 10.0**12
+    bad_baseline = tmp_path / "baseline_fast.json"
+    bad_baseline.write_text(json.dumps(fast))
+    fail_out = io.StringIO()
+    assert (
+        run_bench(
+            output=str(tmp_path / "r2.json"),
+            quick=True,
+            only=["lossy_seed11"],
+            check=str(bad_baseline),
+            speedup_ref=None,
+            out=fail_out,
+        )
+        == 1
+    )
+    assert "REGRESSION" in fail_out.getvalue()

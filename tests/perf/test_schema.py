@@ -1,0 +1,102 @@
+"""BENCH_perf.json schema: round-trip, validation, regression compare."""
+
+import json
+
+import pytest
+
+from repro.perf.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    ScenarioResult,
+    SchemaError,
+    compare_reports,
+    load_report,
+    validate_report,
+)
+
+
+def make_report(**per_scenario_eps):
+    report = BenchReport(profile="quick")
+    for name, eps in per_scenario_eps.items():
+        report.add(
+            ScenarioResult(
+                name=name,
+                wall_s=1.5,
+                peak_rss_kb=200_000,
+                events=15_000,
+                events_per_s=eps,
+                throughput={"queries_per_s": 3.0},
+                ops={"sim.events": 15_000, "net.hops": 4_000},
+                meta={"n_nodes": 50},
+            )
+        )
+    return report
+
+
+# ------------------------------------------------------------ round-trip
+def test_report_round_trips_through_json(tmp_path):
+    report = make_report(fig6a_load=10_000.0, ring_build=None)
+    path = report.write(tmp_path / "BENCH_perf.json")
+    loaded = load_report(path)
+    assert loaded.to_dict() == report.to_dict()
+    raw = json.loads(path.read_text())
+    assert raw["schema_version"] == BENCH_SCHEMA_VERSION
+    assert raw["suite"] == "repro-bench"
+    assert sorted(raw["scenarios"]) == ["fig6a_load", "ring_build"]
+
+
+def test_written_json_is_stable_and_sorted(tmp_path):
+    report = make_report(b_scenario=1.0, a_scenario=2.0)
+    path = report.write(tmp_path / "out.json")
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a_scenario"') < text.index('"b_scenario"')
+    # ops keys are sorted too (deterministic diffs)
+    scen = json.loads(text)["scenarios"]["a_scenario"]
+    assert list(scen["ops"]) == sorted(scen["ops"])
+
+
+# ------------------------------------------------------------ validation
+def test_validate_rejects_bad_documents():
+    good = make_report(x=1.0).to_dict()
+    validate_report(good)
+
+    for mutate in (
+        lambda d: d.__setitem__("schema_version", 999),
+        lambda d: d.__setitem__("suite", "other"),
+        lambda d: d.__setitem__("profile", 7),
+        lambda d: d.__setitem__("scenarios", {}),
+        lambda d: d["scenarios"]["x"].__setitem__("wall_s", "fast"),
+        lambda d: d["scenarios"]["x"].__setitem__("wall_s", True),
+        lambda d: d["scenarios"]["x"].__setitem__("ops", {"sim.events": 1.5}),
+    ):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        with pytest.raises(SchemaError):
+            validate_report(doc)
+
+
+def test_load_report_rejects_wrong_version(tmp_path):
+    doc = make_report(x=1.0).to_dict()
+    doc["schema_version"] = BENCH_SCHEMA_VERSION + 1
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SchemaError):
+        load_report(path)
+
+
+# ------------------------------------------------------------ comparison
+def test_compare_reports_flags_only_real_regressions():
+    baseline = make_report(a=10_000.0, b=10_000.0, c=None)
+    # a: within the 25% gate; b: beyond it; c: unmeasurable (no events/s)
+    current = make_report(a=8_000.0, b=7_000.0, c=None)
+    regressions = compare_reports(current, baseline, max_regression=0.25)
+    assert [r.scenario for r in regressions] == ["b"]
+    assert regressions[0].metric == "events_per_s"
+    assert "b" in regressions[0].describe()
+
+
+def test_compare_reports_ignores_disjoint_scenarios():
+    baseline = make_report(only_in_baseline=5_000.0)
+    current = make_report(only_in_current=1.0)
+    assert compare_reports(current, baseline) == []

@@ -1,0 +1,80 @@
+"""Event-handle pooling: recycling rules, arg passing, op counts."""
+
+from repro.perf.counters import counting
+from repro.sim.engine import _POOL_LIMIT, Simulator
+
+
+def test_fired_handles_are_pooled_and_reused():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+    assert sim.pooled_handles == 10
+
+    seen = set()
+    sim.schedule(1.0, seen.add, "a")
+    assert sim.pooled_handles == 9  # one came back out of the pool
+    sim.run()
+    assert seen == {"a"}
+
+
+def test_retained_handle_is_not_recycled():
+    sim = Simulator()
+    kept = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert not kept.pending
+    # The caller still holds `kept`, so recycling it would alias state.
+    assert sim.pooled_handles == 0
+    # A handle nobody kept is recycled.
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.pooled_handles == 1
+
+
+def test_cancelled_handles_are_recycled_on_discard():
+    sim = Simulator()
+    ran = []
+    sim.schedule(1.0, ran.append, "y")
+    # Cancel from inside a callback, then drop our reference: by the
+    # time the cancelled entry surfaces, only the queue holds it.
+    victim = sim.schedule(5.0, ran.append, "x")
+    sim.schedule(2.0, victim.cancel)
+    del victim
+    sim.run()
+    assert ran == ["y"]
+    # all three handles (two fired, one cancelled-discarded) were pooled,
+    # except any the engine still saw referenced; at minimum the
+    # unretained fired + discarded ones come back
+    assert sim.pooled_handles >= 2
+
+
+def test_pool_is_bounded():
+    sim = Simulator()
+    for i in range(_POOL_LIMIT + 100):
+        sim.schedule(float(i) * 1e-6, lambda: None)
+    sim.run()
+    assert sim.pooled_handles <= _POOL_LIMIT
+
+
+def test_args_survive_recycling():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, lambda a, b: out.append((a, b)), 1, 2)
+    sim.run()
+    sim.schedule(1.0, out.append, "second")
+    sim.run()
+    assert out == [(1, 2), "second"]
+
+
+def test_engine_counters():
+    sim = Simulator()
+    with counting() as ops:
+        keep = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        keep.cancel()
+        sim.run()
+    assert ops.get("sim.scheduled") == 2
+    assert ops.get("sim.events") == 1
+    assert ops.get("sim.cancelled_discarded") == 1

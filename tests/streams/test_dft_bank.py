@@ -1,0 +1,102 @@
+"""Vectorised DFT maintenance vs the scalar reference (property tests)."""
+
+import math
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+from repro.streams.dft import SlidingDFT, SlidingDFTBank
+
+
+def _rng(name):
+    return RngRegistry(seed=99).get(name)
+
+
+def test_bank_rows_bit_identical_to_scalar():
+    """Each bank row equals a scalar SlidingDFT fed the same stream, exactly."""
+    n, k, n_streams, steps = 32, 5, 7, 200
+    rng = _rng("bank-vs-scalar")
+    windows = rng.standard_normal((n_streams, n))
+    arrivals = rng.standard_normal((steps, n_streams))
+
+    scalars = [SlidingDFT(n, k, refresh_every=None) for _ in range(n_streams)]
+    for s, dft in enumerate(scalars):
+        dft.initialize(windows[s])
+    bank = SlidingDFTBank(n_streams, n, k)
+    bank.initialize(windows)
+
+    heads = windows.copy()
+    for t in range(steps):
+        evicted = heads[:, t % n].copy()
+        for s, dft in enumerate(scalars):
+            dft.update(float(arrivals[t, s]), float(evicted[s]))
+        bank.update(arrivals[t], evicted)
+        heads[:, t % n] = arrivals[t]
+        for s, dft in enumerate(scalars):
+            assert np.array_equal(bank.row(s), dft.coefficients), (t, s)
+
+
+def test_update_many_close_to_stepwise():
+    """Closed-form batch catch-up matches stepping within float tolerance."""
+    n, k, steps = 64, 6, 150
+    rng = _rng("update-many")
+    window = rng.standard_normal(n)
+    arrivals = rng.standard_normal(steps)
+
+    stepped = SlidingDFT(n, k, refresh_every=None)
+    stepped.initialize(window)
+    batched = SlidingDFT(n, k, refresh_every=None)
+    batched.initialize(window)
+
+    buf = window.copy()
+    evicted = np.empty(steps)
+    for t in range(steps):
+        evicted[t] = buf[t % n]
+        stepped.update(float(arrivals[t]), float(evicted[t]))
+        buf[t % n] = arrivals[t]
+
+    batched.update_many(arrivals, evicted)
+    for a, b in zip(batched.coefficients, stepped.coefficients):
+        assert math.isclose(a.real, b.real, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(a.imag, b.imag, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_incremental_tracks_full_fft():
+    """After many updates the incremental coefficients match a fresh FFT."""
+    n, k, steps = 16, 4, 500
+    rng = _rng("vs-fft")
+    window = list(rng.standard_normal(n))
+    dft = SlidingDFT(n, k, refresh_every=None)
+    dft.initialize(np.asarray(window))
+    for _ in range(steps):
+        new = float(rng.standard_normal())
+        old = window.pop(0)
+        window.append(new)
+        dft.update(new, old)
+    expect = np.fft.fft(np.asarray(window))[:k] / np.sqrt(n)
+    for a, b in zip(dft.coefficients, expect):
+        assert math.isclose(a.real, b.real, rel_tol=1e-7, abs_tol=1e-7)
+        assert math.isclose(a.imag, b.imag, rel_tol=1e-7, abs_tol=1e-7)
+
+
+def test_peek_returns_live_view_and_coefficients_a_copy():
+    n, k = 16, 4
+    rng = _rng("views")
+    dft = SlidingDFT(n, k, refresh_every=None)
+    dft.initialize(rng.standard_normal(n))
+    live = dft.peek()
+    copied = dft.coefficients
+    dft.update(1.0, 0.5)
+    assert np.array_equal(live, dft.peek())  # same storage
+    assert not np.array_equal(copied, dft.coefficients)  # snapshot
+
+
+def test_bank_coefficients_properties_are_copies():
+    rng = _rng("bank-views")
+    bank = SlidingDFTBank(3, 16, 4)
+    bank.initialize(rng.standard_normal((3, 16)))
+    snap = bank.coefficients
+    row = bank.row(1)
+    bank.update(np.ones(3), np.zeros(3))
+    assert not np.array_equal(snap, bank.coefficients)
+    assert not np.array_equal(row, bank.row(1))
