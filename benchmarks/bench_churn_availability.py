@@ -16,11 +16,20 @@ A second sweep holds churn fixed and raises the per-hop loss rate with
 the reliability layer (acks + retries) and soft-state refresh enabled,
 measuring the delivery ratio the ack/retry machinery actually achieves
 on a lossy fabric.
+
+The scenario bodies live in :mod:`repro.perf.parallel` as sweep-cell
+runners (workers must be able to import them); this bench is one thin
+projection of those cells, fanned across ``REPRO_SWEEP_JOBS`` worker
+processes when set — the merged series are byte-identical to a serial
+run either way.
 """
 
+import os
+
 from repro.bench import format_series
-from repro.core import KIND, MiddlewareConfig, SimilarityQuery, StreamIndexSystem, WorkloadConfig
-from repro.workload import ChurnWorkload
+from repro.perf.parallel import SweepCell, run_cell, run_cells
+
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
 
 N_NODES = 24
 MEASURE_MS = 25_000.0
@@ -28,103 +37,48 @@ CHURN_RATES = (0.0, 0.1, 0.3)  # events/s, each for failures AND joins
 LOSS_RATES = (0.0, 0.02, 0.05, 0.10)  # per-hop loss, at fixed 0.1/s churn
 
 
+def _churn_cell(rate, seed):
+    return SweepCell(
+        runner="churn_availability",
+        label=f"churn/r{rate}",
+        scenario="churn_availability",
+        n_nodes=N_NODES,
+        seed=seed,
+        params=(("measure_ms", MEASURE_MS), ("rate", rate)),
+    )
+
+
+def _loss_cell(loss, seed):
+    return SweepCell(
+        runner="loss_availability",
+        label=f"loss/p{loss}",
+        scenario="loss_availability",
+        n_nodes=N_NODES,
+        seed=seed,
+        params=(("churn_rate", 0.1), ("loss", loss), ("measure_ms", MEASURE_MS)),
+    )
+
+
 def run_at(rate, seed=7):
-    config = MiddlewareConfig(
-        window_size=64,
-        batch_size=2,
-        workload=WorkloadConfig(qrate_per_s=0.0),
-    )
-    system = StreamIndexSystem(N_NODES, config, seed=seed, with_stabilizer=True)
-    system.attach_random_walk_streams()
-    system.warmup()
-
-    client = system.app(0)
-    donor_app = system.app(4)
-    donor = next(iter(donor_app.sources.values()))
-    churn = ChurnWorkload(
-        system,
-        fail_rate_per_s=rate,
-        join_rate_per_s=rate,
-        protect=[client.node_id, donor_app.node_id],
-    ).start()
-
-    system.reset_stats()
-    qid = client.post_similarity_query(
-        SimilarityQuery(
-            pattern=donor.extractor.window.values(),
-            radius=0.4,
-            lifespan_ms=MEASURE_MS + 5_000.0,
-        )
-    )
-    system.run(MEASURE_MS)
-    churn.stop()
-
-    stats = system.network.stats
-    seconds = MEASURE_MS / 1000.0
-    live = sum(1 for a in system.all_apps if a.node.alive)
-    return {
-        "mbr rate /node/s": stats.originations[KIND.MBR] / live / seconds,
-        "responses received": len(client.similarity_results[qid]) and 1.0 or 0.0,
-        "matches": float(len(client.similarity_results[qid])),
-        "failures": float(churn.failures),
-        "joins": float(churn.joins),
-    }
+    return run_cell(_churn_cell(rate, seed))["values"]
 
 
 def run_lossy(loss, seed=7):
-    config = MiddlewareConfig(
-        window_size=64,
-        batch_size=2,
-        reliable_delivery=True,
-        refresh_period_ms=2_000.0,
-        loss_rate=loss,
-        duplicate_rate=0.01,
-        workload=WorkloadConfig(qrate_per_s=0.0),
-    )
-    system = StreamIndexSystem(N_NODES, config, seed=seed, with_stabilizer=True)
-    system.attach_random_walk_streams()
-    system.warmup()
+    return run_cell(_loss_cell(loss, seed))["values"]
 
-    client = system.app(0)
-    donor_app = system.app(4)
-    donor = next(iter(donor_app.sources.values()))
-    churn = ChurnWorkload(
-        system,
-        fail_rate_per_s=0.1,
-        join_rate_per_s=0.1,
-        protect=[client.node_id, donor_app.node_id],
-    ).start()
 
-    system.reset_stats()
-    qid = client.post_similarity_query(
-        SimilarityQuery(
-            pattern=donor.extractor.window.values(),
-            radius=0.4,
-            lifespan_ms=MEASURE_MS + 5_000.0,
-        )
-    )
-    system.run(MEASURE_MS)
-    churn.stop()
-
-    stats = system.network.stats
-    return {
-        "delivery ratio": stats.delivery_ratio(),
-        "eventual delivery": system.eventual_delivery_ratio(),
-        "retransmissions": float(sum(stats.retransmissions.values())),
-        "dead letters": float(sum(stats.dead_letters.values())),
-        "drops": float(stats.total_drops()),
-        "matches": float(len(client.similarity_results[qid])),
-    }
+def _merge_series(results):
+    series = {}
+    for result in results:
+        for key, value in result["values"].items():
+            series.setdefault(key, []).append(value)
+    return series
 
 
 def test_availability_under_churn(benchmark, save_result):
     def compute():
-        series = {}
-        for rate in CHURN_RATES:
-            out = run_at(rate)
-            for key, value in out.items():
-                series.setdefault(key, []).append(value)
-        return series
+        cells = [_churn_cell(rate, 7) for rate in CHURN_RATES]
+        return _merge_series(run_cells(cells, jobs=SWEEP_JOBS))
 
     series = benchmark.pedantic(compute, rounds=1, iterations=1)
     save_result(
@@ -151,12 +105,8 @@ def test_availability_under_churn(benchmark, save_result):
 
 def test_availability_under_loss(benchmark, save_result):
     def compute():
-        series = {}
-        for loss in LOSS_RATES:
-            out = run_lossy(loss)
-            for key, value in out.items():
-                series.setdefault(key, []).append(value)
-        return series
+        cells = [_loss_cell(loss, 7) for loss in LOSS_RATES]
+        return _merge_series(run_cells(cells, jobs=SWEEP_JOBS))
 
     series = benchmark.pedantic(compute, rounds=1, iterations=1)
     save_result(

@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D008).
+"""The simlint rule catalog (D001–D009).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -13,8 +13,9 @@ simulated world (``sim``/``chord``/``core``), float-equality (D004)
 inside routing and index math (``chord``/``core``), while RNG hygiene
 (D001), kind registration (D005), payload-default safety (D006) and
 registry/dispatch coherence (D007) apply everywhere outside test code;
-performance-timer containment (D008) applies everywhere except the
-sanctioned measurement homes (``repro/perf`` and ``benchmarks``).
+performance-timer containment (D008) and process-spawn containment
+(D009) apply everywhere except the sanctioned measurement and
+orchestration homes (``repro/perf`` and ``benchmarks``).
 """
 
 from __future__ import annotations
@@ -725,6 +726,84 @@ class PerfTimerContainmentRule(LintRule):
                         f"perf timer call `{dotted}` outside repro/perf and "
                         "benchmarks/; route measurement through the bench "
                         "harness (see PERFORMANCE.md)",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D009 — process spawning only in the perf layer and benchmarks
+# ----------------------------------------------------------------------
+@register
+class ProcessSpawnContainmentRule(LintRule):
+    """Worker processes are spawned in ``repro/perf`` and ``benchmarks`` only.
+
+    The sweep fan-out (:mod:`repro.perf.parallel`) is deliberately the
+    single place that forks: its merge step is what guarantees parallel
+    results are byte-identical to serial ones (results reassembled in
+    cell order, every cell a pure function of its picklable spec).  A
+    ``multiprocessing`` import or ``os.fork`` elsewhere would create a
+    second fan-out path without that contract — completion-order
+    merges, shared-state mutation across forks, and RNG streams split
+    outside the per-cell registries are exactly the nondeterminism this
+    codebase exists to exclude.  Route parallelism through
+    ``repro.perf.parallel.run_cells`` instead.
+    """
+
+    code = "D009"
+    title = "process spawning outside repro/perf and benchmarks"
+
+    _BANNED_MODULES = {"multiprocessing"}
+    _BANNED_CALLS = ("os.fork", "os.forkpty")
+    _BANNED_OS_NAMES = {"fork", "forkpty"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        return not _in_packages(path, ("perf", "benchmarks"))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in self._BANNED_MODULES:
+                self.report(
+                    node,
+                    f"import of `{alias.name}` outside repro/perf and "
+                    "benchmarks/; fan work out through "
+                    "repro.perf.parallel.run_cells",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module.split(".")[0] in self._BANNED_MODULES:
+            self.report(
+                node,
+                f"import from `{module}` outside repro/perf and "
+                "benchmarks/; fan work out through "
+                "repro.perf.parallel.run_cells",
+            )
+        elif module == "os":
+            for alias in node.names:
+                if alias.name in self._BANNED_OS_NAMES:
+                    self.report(
+                        node,
+                        f"import of `os.{alias.name}` outside repro/perf "
+                        "and benchmarks/; fan work out through "
+                        "repro.perf.parallel.run_cells",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for banned in self._BANNED_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self.report(
+                        node,
+                        f"process fork `{dotted}` outside repro/perf and "
+                        "benchmarks/; fan work out through "
+                        "repro.perf.parallel.run_cells",
                     )
                     break
         self.generic_visit(node)

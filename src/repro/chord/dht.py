@@ -89,26 +89,45 @@ class DhtOverlay:
         """
         base_kind = msg.kind
         msg.born = self.network.sim.now if msg.born == 0.0 else msg.born  # simlint: disable=D004 (0.0 is the unset sentinel)
+        self._route_step(src, base_kind, transit_kind, on_delivered, True, msg)
 
-        def step(node: ChordNode, m: Message, first: bool) -> None:
-            if not node.alive:
-                return  # message reached a node that died in flight
-            if node.owns_key(m.dest_key):
-                self._deliver(node, m, base_kind, on_delivered)
-                return
-            nxt, final = next_hop(node, m.dest_key)
-            if nxt is node:
-                self._deliver(node, m, base_kind, on_delivered)
-                return
-            m.kind = base_kind if first else transit_kind
-            self.network.hop(
-                node.node_id,
-                nxt.node_id,
-                m,
-                lambda mm: step(nxt, mm, False),
-            )
+    def _route_step(
+        self,
+        node: ChordNode,
+        base_kind: str,
+        transit_kind: str,
+        on_delivered: Optional[Callable[[ChordNode, Message], None]],
+        first: bool,
+        m: Message,
+    ) -> None:
+        """One greedy hop of :meth:`route`.
 
-        step(src, msg, True)
+        A bound method with its state passed positionally (instead of a
+        per-route closure) so the per-hop continuation is just this
+        method plus an argument tuple the pooled engine already stores —
+        routing allocates no function objects (PERFORMANCE.md).
+        """
+        if not node.alive:
+            return  # message reached a node that died in flight
+        if node.owns_key(m.dest_key):
+            self._deliver(node, m, base_kind, on_delivered)
+            return
+        nxt, _final = next_hop(node, m.dest_key)
+        if nxt is node:
+            self._deliver(node, m, base_kind, on_delivered)
+            return
+        m.kind = base_kind if first else transit_kind
+        self.network.hop(
+            node.node_id,
+            nxt.node_id,
+            m,
+            self._route_step,
+            nxt,
+            base_kind,
+            transit_kind,
+            on_delivered,
+            False,
+        )
 
     def send_direct(
         self,
@@ -132,10 +151,22 @@ class DhtOverlay:
             src.node_id,
             dst.node_id,
             msg,
-            lambda m: self._deliver(dst, m, base_kind, on_delivered)
-            if dst.alive
-            else None,
+            self._direct_arrive,
+            dst,
+            base_kind,
+            on_delivered,
         )
+
+    def _direct_arrive(
+        self,
+        dst: ChordNode,
+        base_kind: str,
+        on_delivered: Optional[Callable[[ChordNode, Message], None]],
+        m: Message,
+    ) -> None:
+        """Arrival continuation of :meth:`send_direct` (closure-free)."""
+        if dst.alive:
+            self._deliver(dst, m, base_kind, on_delivered)
 
     def send_to_successor(self, node: ChordNode, msg: Message, **kw) -> bool:
         """Forward ``msg`` one hop along the ring; ``False`` if no successor."""

@@ -111,12 +111,37 @@ class IdSpace:
         return (node_id + (1 << (i - 1))) % self.size
 
     def between_open(self, x: int, a: int, b: int) -> bool:
-        """``x`` in circular ``(a, b)``; see :func:`in_open_interval`."""
-        return in_open_interval(x, a, b, self.size)
+        """``x`` in circular ``(a, b)``; see :func:`in_open_interval`.
+
+        Same logic as the module-level function, restated inline: this
+        sits on the greedy-routing hot path (one call per finger probed
+        per hop) and the extra frame of a delegating call is measurable.
+        """
+        size = self.size
+        x %= size
+        a %= size
+        b %= size
+        if a == b:
+            return x != a
+        if a < b:
+            return a < x < b
+        return x > a or x < b
 
     def between_half_open(self, x: int, a: int, b: int) -> bool:
-        """``x`` in circular ``(a, b]``; see :func:`in_half_open_interval`."""
-        return in_half_open_interval(x, a, b, self.size)
+        """``x`` in circular ``(a, b]``; see :func:`in_half_open_interval`.
+
+        Inlined for the same hot-path reason as :meth:`between_open`
+        (key-ownership test, one per routing step).
+        """
+        size = self.size
+        x %= size
+        a %= size
+        b %= size
+        if a == b:
+            return True
+        if a < b:
+            return a < x <= b
+        return x > a or x <= b
 
     def distance(self, a: int, b: int) -> int:
         """Clockwise distance from ``a`` to ``b``."""

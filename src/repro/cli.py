@@ -148,6 +148,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-optimization reference report used to annotate "
         "speedups (default: benchmarks/perf_prepr.json if present)",
     )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan scenarios out across N worker processes (each measured "
+        "in its own process; default 1 = in-process serial)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the full experiment sweep (Fig. 6-8 + churn/loss) "
+        "across worker processes and write SWEEP_results.json; "
+        "the document is byte-identical for any --jobs value",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan sweep cells across (default 1)",
+    )
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller node counts and windows (CI smoke profile)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    sweep.add_argument(
+        "--output",
+        default=None,
+        help="result path (default: SWEEP_results.json in the cwd)",
+    )
+    sweep.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run serially and verify the parallel document is "
+        "byte-identical (exit 1 on mismatch)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -474,6 +511,20 @@ def cmd_bench(args, out) -> int:
         speedup_ref=(
             args.speedup_ref if args.speedup_ref is not None else SPEEDUP_REF_PATH
         ),
+        jobs=args.jobs,
+        out=out,
+    )
+
+
+def cmd_sweep(args, out) -> int:
+    from .perf.parallel import DEFAULT_SWEEP_PATH, run_sweep
+
+    return run_sweep(
+        jobs=args.jobs,
+        quick=args.quick,
+        seed=args.seed,
+        output=args.output if args.output is not None else DEFAULT_SWEEP_PATH,
+        check=args.check,
         out=out,
     )
 
@@ -585,6 +636,7 @@ _COMMANDS = {
     "baselines": cmd_baselines,
     "lossy": cmd_lossy,
     "bench": cmd_bench,
+    "sweep": cmd_sweep,
     "lint": cmd_lint,
     "protocol": cmd_protocol,
     "ring-stats": cmd_ring_stats,

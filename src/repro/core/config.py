@@ -137,6 +137,12 @@ class MiddlewareConfig:
         :class:`~repro.sim.faults.FaultPlan` is given to the system) the
         network drops / duplicates each hop with these probabilities and
         jitters the hop delay by ``± delay_jitter_ms``.
+    scheduler:
+        Event-queue backend of the simulation engine: ``"heap"`` (binary
+        heap, the differential-testing oracle) or ``"calendar"``
+        (bucketed calendar queue).  Both produce the identical event
+        order, so results never depend on this knob — only wall-clock
+        does (see PERFORMANCE.md).
     workload:
         The Table I parameters.
     """
@@ -168,6 +174,7 @@ class MiddlewareConfig:
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
     delay_jitter_ms: float = 0.0
+    scheduler: str = "heap"
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
     def __post_init__(self) -> None:
@@ -205,6 +212,8 @@ class MiddlewareConfig:
                 raise ValueError(f"{name} must be in [0, 1)")
         if self.delay_jitter_ms < 0:
             raise ValueError("delay_jitter_ms must be non-negative")
+        if self.scheduler not in ("heap", "calendar"):
+            raise ValueError(f"unknown scheduler backend {self.scheduler!r}")
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A modified copy (convenience over :func:`dataclasses.replace`)."""

@@ -15,9 +15,22 @@ reliability machinery:
     The determinism-regression scenario (16 nodes, loss/dup/churn,
     seed 11) — reliability hot paths; its stats CSV digest doubles as
     byte-identity evidence in the report.
+``fig6a_calendar``
+    The same Fig. 6(a) scenario on the calendar-queue scheduler backend
+    (``MiddlewareConfig(scheduler="calendar")``): identical simulated
+    behaviour by construction, so the events/s delta against
+    ``fig6a_load`` is a pure scheduler-cost comparison (PERFORMANCE.md
+    records when each backend wins).
 ``dft_incremental``
     Pure summary-pipeline microbench: per-arrival incremental DFT
     updates (paper Eq. 5), scalar and bank-vectorised.
+``sweep_parallel``
+    The quick sweep profile run serially and fanned across workers
+    (``repro.perf.parallel``), reporting the wall-clock ratio, the host
+    cpu count it was measured on, and whether the two documents were
+    byte-identical.  On a 1-cpu container the honest ratio is ~1×; the
+    scenario exists so the speedup claim is always measured, never
+    assumed.
 
 This module is *inside* ``repro.perf`` and therefore allowed to read
 wall clocks (``time.perf_counter``) and process RSS — the rest of the
@@ -143,6 +156,66 @@ def _scenario_fig6a(quick: bool) -> ScenarioResult:
     return _measure("fig6a_load", body)
 
 
+def _scenario_fig6a_calendar(quick: bool) -> ScenarioResult:
+    from ..core.config import MiddlewareConfig
+    from ..workload.scenario import run_measured
+
+    n_nodes = 50
+    warmup_ms = 2_000.0 if quick else 5_000.0
+    measure_ms = 4_000.0 if quick else 15_000.0
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        run = run_measured(
+            n_nodes,
+            config=MiddlewareConfig(batch_size=1, scheduler="calendar"),
+            seed=0,
+            warmup_extra_ms=warmup_ms,
+            measure_ms=measure_ms,
+        )
+        events = run.system.sim.events_processed
+        return events, {}, {
+            "n_nodes": n_nodes,
+            "seed": 0,
+            "batch_size": 1,
+            "scheduler": "calendar",
+            "warmup_extra_ms": warmup_ms,
+            "measure_ms": measure_ms,
+            "queries_posted": run.queries_posted,
+        }
+
+    return _measure("fig6a_calendar", body)
+
+
+def _scenario_sweep_parallel(quick: bool) -> ScenarioResult:
+    import os
+
+    from .parallel import sweep_document, sweep_to_json
+
+    jobs = 4
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        # always the quick sweep profile: the point is the wall-clock
+        # ratio and the byte-identity witness, not the figure content
+        t0 = time.perf_counter()
+        serial = sweep_to_json(sweep_document(quick=True, jobs=1))
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fanned = sweep_to_json(sweep_document(quick=True, jobs=jobs))
+        parallel_s = time.perf_counter() - t0
+        return None, {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        }, {
+            "jobs": jobs,
+            "sweep_profile": "quick",
+            "host_cpu_count": os.cpu_count(),
+            "byte_identical": fanned == serial,
+        }
+
+    return _measure("sweep_parallel", body)
+
+
 def _scenario_lossy_seed11(quick: bool) -> ScenarioResult:
     from ..bench.export import stats_to_csv_string
     from ..core import (
@@ -264,8 +337,10 @@ def _scenario_dft_incremental(quick: bool) -> ScenarioResult:
 _SCENARIOS: Tuple[Tuple[str, Callable[[bool], ScenarioResult]], ...] = (
     ("ring_build", _scenario_ring_build),
     ("fig6a_load", _scenario_fig6a),
+    ("fig6a_calendar", _scenario_fig6a_calendar),
     ("lossy_seed11", _scenario_lossy_seed11),
     ("dft_incremental", _scenario_dft_incremental),
+    ("sweep_parallel", _scenario_sweep_parallel),
 )
 
 
@@ -276,25 +351,48 @@ def run_suite(
     *,
     quick: bool = False,
     only: Optional[List[str]] = None,
+    jobs: int = 1,
     out: Optional[TextIO] = None,
 ) -> BenchReport:
-    """Execute the scenario suite and return the populated report."""
+    """Execute the scenario suite and return the populated report.
+
+    With ``jobs > 1`` the scenarios fan out across worker processes
+    (each measured in its own process: per-scenario wall/RSS, no
+    cross-scenario allocation bleed); the report is assembled in
+    scenario order either way, so only the measurements differ.
+    """
     out = out if out is not None else sys.stdout
     known = [name for name, _ in _SCENARIOS]
     if only:
         unknown = sorted(set(only) - set(known))
         if unknown:
             raise ValueError(f"unknown scenario(s) {unknown}; choose from {known}")
+    selected = [name for name in known if not only or name in only]
     report = BenchReport(profile="quick" if quick else "full")
-    for name, runner in _SCENARIOS:
-        if only and name not in only:
-            continue
-        print(f"bench: {name} ...", file=out, flush=True)
-        result = report.add(runner(quick))
-        line = f"bench: {name} done in {result.wall_s:.2f}s"
+
+    def _record(result: ScenarioResult) -> None:
+        report.add(result)
+        line = f"bench: {result.name} done in {result.wall_s:.2f}s"
         if result.events_per_s is not None:
             line += f" ({result.events_per_s:,.0f} events/s)"
         print(line, file=out, flush=True)
+
+    if jobs > 1 and len(selected) > 1:
+        from .parallel import run_bench_scenarios
+
+        print(
+            f"bench: {len(selected)} scenarios across "
+            f"{min(jobs, len(selected))} workers ...",
+            file=out,
+            flush=True,
+        )
+        for result in run_bench_scenarios(selected, quick=quick, jobs=jobs):
+            _record(result)
+    else:
+        runners = dict(_SCENARIOS)
+        for name in selected:
+            print(f"bench: {name} ...", file=out, flush=True)
+            _record(runners[name](quick))
     return report
 
 
@@ -320,6 +418,7 @@ def run_bench(
     output: str = DEFAULT_REPORT_PATH,
     quick: bool = False,
     only: Optional[List[str]] = None,
+    jobs: int = 1,
     check: Optional[str] = None,
     max_regression: float = 0.25,
     speedup_ref: Optional[str] = SPEEDUP_REF_PATH,
@@ -331,7 +430,7 @@ def run_bench(
     and any scenario regressed more than ``max_regression``.
     """
     out = out if out is not None else sys.stdout
-    report = run_suite(quick=quick, only=only, out=out)
+    report = run_suite(quick=quick, only=only, jobs=jobs, out=out)
     if speedup_ref and Path(speedup_ref).is_file():
         _apply_speedup_ref(report, Path(speedup_ref), out)
     path = report.write(output)

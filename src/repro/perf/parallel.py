@@ -1,0 +1,608 @@
+"""Parallel experiment orchestration: fan sweep cells across processes.
+
+Every figure in the evaluation is a sweep — over N, over churn rate,
+over loss rate — and every point in a sweep is an *independent*
+simulation: its own :class:`~repro.core.system.StreamIndexSystem`, its
+own seed-derived RNG registry, no shared mutable state.  That makes the
+sweep embarrassingly parallel, as long as two invariants hold:
+
+1. **A cell is a pure function of its spec.**  :class:`SweepCell` is a
+   picklable value object naming a registered runner plus its
+   parameters; the runner builds the whole world from that spec, so it
+   computes the same result in any process, in any order.
+2. **Merging is order-defined by the spec, not by completion.**
+   Workers may finish in any order, but results are reassembled in
+   *cell order* (``Pool.imap`` preserves input order), so the merged
+   document is byte-identical to a serial run: ``--jobs 4`` and
+   ``--jobs 1`` produce the same bytes, and ``repro sweep --check``
+   verifies exactly that.
+
+Results cross the process boundary as JSON-safe dicts carrying
+:meth:`~repro.sim.network.MessageStats.to_snapshot` documents; the
+parent rebuilds :class:`~repro.core.metrics.FigureMetrics` from the
+snapshot (its projections need only ``(stats, n_nodes, duration_ms)``)
+and projects the figure series exactly as the serial
+:class:`~repro.bench.harness.SweepCache` would.
+
+This module lives in ``repro.perf`` deliberately: it is allowed to read
+wall clocks (simlint D008) and to spawn processes (simlint D009) — the
+simulated world itself is not.  The sweep *document* contains no timing
+or host information; wall-clock and worker counts are printed to stdout
+only, so the artifact stays host-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+__all__ = [
+    "SweepCell",
+    "CELL_RUNNERS",
+    "run_cell",
+    "run_cells",
+    "SnapshotRun",
+    "snapshot_run",
+    "measured_cell",
+    "build_sweep",
+    "sweep_document",
+    "run_sweep",
+    "run_bench_scenarios",
+    "DEFAULT_SWEEP_PATH",
+    "SWEEP_SCHEMA_VERSION",
+]
+
+SWEEP_SCHEMA_VERSION = 1
+SWEEP_SUITE = "repro-sweep"
+
+#: default output location — the repo root, next to BENCH_perf.json.
+DEFAULT_SWEEP_PATH = "SWEEP_results.json"
+
+
+# ----------------------------------------------------------------------
+# cell specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of a sweep: a registered runner plus its parameters.
+
+    Cells are immutable, picklable value objects — the unit of work
+    shipped to a pool worker.  ``params`` is a sorted tuple of
+    ``(name, value)`` pairs rather than a dict so two equal cells
+    compare (and pickle) identically regardless of construction order.
+    """
+
+    runner: str
+    label: str
+    scenario: str
+    n_nodes: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a plain dict (runner-side convenience)."""
+        return dict(self.params)
+
+
+def _cell(runner: str, label: str, scenario: str, n_nodes: int, seed: int, **params: Any) -> SweepCell:
+    return SweepCell(
+        runner=runner,
+        label=label,
+        scenario=scenario,
+        n_nodes=n_nodes,
+        seed=seed,
+        params=tuple(sorted(params.items())),
+    )
+
+
+def measured_cell(
+    n_nodes: int,
+    *,
+    config=None,
+    seed: int = 0,
+    radius: Optional[float] = None,
+    hit_fraction: float = 0.5,
+    warmup_extra_ms: float = 2_000.0,
+    measure_ms: float = 20_000.0,
+    scenario: str = "fig_sweep",
+) -> SweepCell:
+    """A Sec.-V measured-run cell (the Fig. 6(a)/7/8 sweep point)."""
+    return _cell(
+        "measured_run",
+        f"{scenario}/N{n_nodes}/s{seed}",
+        scenario,
+        n_nodes,
+        seed,
+        config=config,
+        radius=radius,
+        hit_fraction=hit_fraction,
+        warmup_extra_ms=warmup_extra_ms,
+        measure_ms=measure_ms,
+    )
+
+
+# ----------------------------------------------------------------------
+# cell runners (top-level functions: workers resolve them by name)
+# ----------------------------------------------------------------------
+def _stats_digest(stats) -> str:
+    """sha256 of the canonical stats CSV — the byte-identity witness."""
+    from ..bench.export import stats_to_csv_string
+
+    return hashlib.sha256(stats_to_csv_string(stats).encode()).hexdigest()
+
+
+def _run_measured_cell(cell: SweepCell) -> Dict[str, Any]:
+    """The paper's standard scenario; ships the full stats snapshot."""
+    from ..workload.scenario import run_measured
+
+    p = cell.kwargs()
+    run = run_measured(
+        cell.n_nodes,
+        config=p.get("config"),
+        seed=cell.seed,
+        radius=p.get("radius"),
+        hit_fraction=p.get("hit_fraction", 0.5),
+        warmup_extra_ms=p.get("warmup_extra_ms", 2_000.0),
+        measure_ms=p.get("measure_ms", 20_000.0),
+    )
+    stats = run.metrics.stats
+    return {
+        "stats": stats.to_snapshot(),
+        "n_nodes": cell.n_nodes,
+        "measured_ms": run.measured_ms,
+        "queries_posted": run.queries_posted,
+        "events": run.system.sim.events_processed,
+        "stats_sha256": _stats_digest(stats),
+    }
+
+
+def _churn_system(cell: SweepCell, config, rate: float, measure_ms: float):
+    """Shared body of the churn/loss availability cells.
+
+    Builds the bench_churn_availability scenario: N nodes, one stream
+    each, a protected client and donor, Poisson crash/join churn, one
+    long-lived similarity query posted at reset.
+    """
+    from ..core import SimilarityQuery, StreamIndexSystem
+    from ..workload import ChurnWorkload
+
+    system = StreamIndexSystem(cell.n_nodes, config, seed=cell.seed, with_stabilizer=True)
+    system.attach_random_walk_streams()
+    system.warmup()
+
+    client = system.app(0)
+    donor_app = system.app(4)
+    donor = next(iter(donor_app.sources.values()))
+    churn = ChurnWorkload(
+        system,
+        fail_rate_per_s=rate,
+        join_rate_per_s=rate,
+        protect=[client.node_id, donor_app.node_id],
+    ).start()
+
+    system.reset_stats()
+    qid = client.post_similarity_query(
+        SimilarityQuery(
+            pattern=donor.extractor.window.values(),
+            radius=0.4,
+            lifespan_ms=measure_ms + 5_000.0,
+        )
+    )
+    system.run(measure_ms)
+    churn.stop()
+    return system, client, churn, qid
+
+
+def _run_churn_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Availability under churn (bench_churn_availability.run_at)."""
+    from ..core import KIND, MiddlewareConfig, WorkloadConfig
+
+    p = cell.kwargs()
+    rate = p["rate"]
+    measure_ms = p["measure_ms"]
+    config = MiddlewareConfig(
+        window_size=64,
+        batch_size=2,
+        workload=WorkloadConfig(qrate_per_s=0.0),
+    )
+    system, client, churn, qid = _churn_system(cell, config, rate, measure_ms)
+
+    stats = system.network.stats
+    seconds = measure_ms / 1000.0
+    live = sum(1 for a in system.all_apps if a.node.alive)
+    values = {
+        "mbr rate /node/s": stats.originations[KIND.MBR] / live / seconds,
+        "responses received": len(client.similarity_results[qid]) and 1.0 or 0.0,
+        "matches": float(len(client.similarity_results[qid])),
+        "failures": float(churn.failures),
+        "joins": float(churn.joins),
+    }
+    return {
+        "values": values,
+        "events": system.sim.events_processed,
+        "stats_sha256": _stats_digest(stats),
+    }
+
+
+def _run_loss_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Delivery under loss (bench_churn_availability.run_lossy)."""
+    from ..core import MiddlewareConfig, WorkloadConfig
+
+    p = cell.kwargs()
+    loss = p["loss"]
+    measure_ms = p["measure_ms"]
+    config = MiddlewareConfig(
+        window_size=64,
+        batch_size=2,
+        reliable_delivery=True,
+        refresh_period_ms=2_000.0,
+        loss_rate=loss,
+        duplicate_rate=0.01,
+        workload=WorkloadConfig(qrate_per_s=0.0),
+    )
+    system, client, churn, qid = _churn_system(
+        cell, config, p.get("churn_rate", 0.1), measure_ms
+    )
+
+    stats = system.network.stats
+    values = {
+        "delivery ratio": stats.delivery_ratio(),
+        "eventual delivery": system.eventual_delivery_ratio(),
+        "retransmissions": float(sum(stats.retransmissions.values())),
+        "dead letters": float(sum(stats.dead_letters.values())),
+        "drops": float(stats.total_drops()),
+        "matches": float(len(client.similarity_results[qid])),
+    }
+    return {
+        "values": values,
+        "events": system.sim.events_processed,
+        "stats_sha256": _stats_digest(stats),
+    }
+
+
+def _run_bench_scenario_cell(cell: SweepCell):
+    """One ``repro bench`` scenario, measured inside the worker.
+
+    Wall-clock and peak RSS are per-worker-process, which is exactly
+    what a bench wants: one scenario's allocation spike cannot inflate
+    another's RSS reading the way it can in a serial in-process run.
+    """
+    from .harness import _SCENARIOS
+
+    quick = cell.kwargs().get("quick", False)
+    runners = dict(_SCENARIOS)
+    return runners[cell.scenario](quick)
+
+
+CELL_RUNNERS = {
+    "measured_run": _run_measured_cell,
+    "churn_availability": _run_churn_cell,
+    "loss_availability": _run_loss_cell,
+    "bench_scenario": _run_bench_scenario_cell,
+}
+
+
+def run_cell(cell: SweepCell):
+    """Execute one cell in the current process."""
+    try:
+        runner = CELL_RUNNERS[cell.runner]
+    except KeyError:
+        raise ValueError(
+            f"unknown cell runner {cell.runner!r}; "
+            f"choose from {sorted(CELL_RUNNERS)}"
+        ) from None
+    return runner(cell)
+
+
+def run_cells(cells: Sequence[SweepCell], *, jobs: int = 1) -> List[Any]:
+    """Run cells, serially or across a process pool; results in cell order.
+
+    ``jobs <= 1`` bypasses multiprocessing entirely (no pickling, no
+    fork) — that path *is* the serial reference the byte-compare checks
+    against.  With ``jobs > 1`` the cells fan out over a ``fork``-start
+    pool (every worker inherits the imported modules; safe here because
+    the simulator keeps no process-global RNG state — simlint D001) and
+    ``imap`` reassembles results in submission order, which is what
+    makes the merge independent of completion order.
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [run_cell(c) for c in cells]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with ctx.Pool(processes=min(jobs, len(cells))) as pool:
+        return list(pool.imap(run_cell, cells))
+
+
+# ----------------------------------------------------------------------
+# snapshot-backed runs (SweepCache interop)
+# ----------------------------------------------------------------------
+@dataclass
+class SnapshotRun:
+    """A measured run rebuilt from a worker's snapshot result.
+
+    Quacks like :class:`~repro.workload.scenario.MeasuredRun` for every
+    figure projection (``.metrics``, ``.measured_ms``,
+    ``.queries_posted``) — it just no longer carries the live system,
+    which never crosses the process boundary.
+    """
+
+    metrics: Any
+    measured_ms: float
+    queries_posted: int
+
+
+def figure_metrics_from(result: Dict[str, Any]):
+    """Rebuild :class:`FigureMetrics` from a measured-cell result."""
+    from ..core.metrics import FigureMetrics
+    from ..sim.network import MessageStats
+
+    return FigureMetrics(
+        stats=MessageStats.from_snapshot(result["stats"]),
+        n_nodes=result["n_nodes"],
+        duration_ms=result["measured_ms"],
+    )
+
+
+def snapshot_run(result: Dict[str, Any]) -> SnapshotRun:
+    """Wrap a measured-cell result as a MeasuredRun stand-in."""
+    return SnapshotRun(
+        metrics=figure_metrics_from(result),
+        measured_ms=result["measured_ms"],
+        queries_posted=result["queries_posted"],
+    )
+
+
+# ----------------------------------------------------------------------
+# the standard sweep (what `repro sweep` runs)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepGroup:
+    """One x-axis sweep: the cells plus how to project their figures."""
+
+    name: str
+    x_label: str
+    xs: Tuple[float, ...]
+    cells: Tuple[SweepCell, ...]
+    #: figure name -> FigureMetrics method name (measured groups only)
+    projections: Tuple[Tuple[str, str], ...] = ()
+
+
+def build_sweep(*, quick: bool = False, seed: int = 0) -> List[SweepGroup]:
+    """The standard sweep groups: Sec.-V figures plus churn/loss."""
+    from ..bench.harness import (
+        DEFAULT_MEASURE_MS,
+        DEFAULT_WARMUP_EXTRA_MS,
+        PAPER_NODE_COUNTS,
+    )
+    from ..core import MiddlewareConfig
+
+    if quick:
+        node_counts: Tuple[int, ...] = (16, 24)
+        fig_measure, fig_warmup = 3_000.0, 1_000.0
+        avail_nodes, avail_measure = 12, 6_000.0
+        churn_rates: Tuple[float, ...] = (0.0, 0.3)
+        loss_rates: Tuple[float, ...] = (0.0, 0.1)
+    else:
+        node_counts = PAPER_NODE_COUNTS
+        fig_measure, fig_warmup = DEFAULT_MEASURE_MS, DEFAULT_WARMUP_EXTRA_MS
+        avail_nodes, avail_measure = 24, 25_000.0
+        churn_rates = (0.0, 0.1, 0.3)
+        loss_rates = (0.0, 0.02, 0.05, 0.10)
+
+    fig_config = MiddlewareConfig(batch_size=1)  # benchmarks/conftest.py config
+    groups = [
+        SweepGroup(
+            name="fig_sweep",
+            x_label="N",
+            xs=tuple(float(n) for n in node_counts),
+            cells=tuple(
+                measured_cell(
+                    n,
+                    config=fig_config,
+                    seed=seed,
+                    warmup_extra_ms=fig_warmup,
+                    measure_ms=fig_measure,
+                )
+                for n in node_counts
+            ),
+            projections=(
+                ("fig6a_load", "load_components"),
+                ("fig7_overhead", "overhead_components"),
+                ("fig8_hops", "hop_components"),
+            ),
+        ),
+        SweepGroup(
+            name="churn_availability",
+            x_label="churn rate (fail+join /s)",
+            xs=churn_rates,
+            cells=tuple(
+                _cell(
+                    "churn_availability",
+                    f"churn/r{rate}/N{avail_nodes}/s{seed + 7}",
+                    "churn_availability",
+                    avail_nodes,
+                    seed + 7,
+                    rate=rate,
+                    measure_ms=avail_measure,
+                )
+                for rate in churn_rates
+            ),
+        ),
+        SweepGroup(
+            name="loss_availability",
+            x_label="per-hop loss rate",
+            xs=loss_rates,
+            cells=tuple(
+                _cell(
+                    "loss_availability",
+                    f"loss/p{loss}/N{avail_nodes}/s{seed + 7}",
+                    "loss_availability",
+                    avail_nodes,
+                    seed + 7,
+                    loss=loss,
+                    churn_rate=0.1,
+                    measure_ms=avail_measure,
+                )
+                for loss in loss_rates
+            ),
+        ),
+    ]
+    return groups
+
+
+def _series_from(values_in_order: List[Dict[str, float]]) -> Dict[str, List[float]]:
+    """Column-major merge of per-x value dicts, in x order."""
+    series: Dict[str, List[float]] = {}
+    for values in values_in_order:
+        for key, value in values.items():
+            series.setdefault(key, []).append(value)
+    return series
+
+
+def sweep_document(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    jobs: int = 1,
+    groups: Optional[List[SweepGroup]] = None,
+) -> Dict[str, Any]:
+    """Run the sweep and assemble the deterministic result document.
+
+    The document is a pure function of ``(groups, seed)`` — it contains
+    no timing, host, or job-count information, which is what lets
+    ``--check`` assert byte-identity between ``--jobs N`` and serial.
+    """
+    if groups is None:
+        groups = build_sweep(quick=quick, seed=seed)
+
+    # one flat pool over every cell of every group: a straggler in one
+    # group never idles workers that could be running another group.
+    flat: List[SweepCell] = []
+    offsets: List[int] = []
+    for group in groups:
+        offsets.append(len(flat))
+        flat.extend(group.cells)
+    results = run_cells(flat, jobs=jobs)
+
+    figures: Dict[str, Any] = {}
+    cell_index: List[Dict[str, Any]] = []
+    for group, offset in zip(groups, offsets):
+        group_results = results[offset : offset + len(group.cells)]
+        for cell, result in zip(group.cells, group_results):
+            cell_index.append(
+                {
+                    "label": cell.label,
+                    "runner": cell.runner,
+                    "n_nodes": cell.n_nodes,
+                    "seed": cell.seed,
+                    "events": result["events"],
+                    "stats_sha256": result["stats_sha256"],
+                }
+            )
+        if group.projections:
+            metrics = [figure_metrics_from(r) for r in group_results]
+            for figure_name, method in group.projections:
+                figures[figure_name] = {
+                    "x_label": group.x_label,
+                    "xs": list(group.xs),
+                    "series": _series_from([getattr(m, method)() for m in metrics]),
+                }
+        else:
+            figures[group.name] = {
+                "x_label": group.x_label,
+                "xs": list(group.xs),
+                "series": _series_from([r["values"] for r in group_results]),
+            }
+
+    return {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "suite": SWEEP_SUITE,
+        "profile": "quick" if quick else "full",
+        "seed": seed,
+        "figures": figures,
+        "cells": cell_index,
+    }
+
+
+def sweep_to_json(doc: Dict[str, Any]) -> str:
+    """Stable serialization: sorted keys, fixed indentation."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def run_sweep(
+    *,
+    jobs: int = 1,
+    quick: bool = False,
+    seed: int = 0,
+    output: str = DEFAULT_SWEEP_PATH,
+    check: bool = False,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Full ``repro sweep`` behaviour: run, write, optionally self-check.
+
+    Timing and host facts are printed here and never enter the
+    document.  With ``check`` the sweep re-runs serially and the two
+    serializations are compared byte-for-byte; a mismatch returns exit
+    code 1 (it would mean some cell is not a pure function of its spec
+    — shared state leaked across cells).
+    """
+    out = out if out is not None else sys.stdout
+    profile = "quick" if quick else "full"
+    start = time.perf_counter()
+    doc = sweep_document(quick=quick, seed=seed, jobs=jobs)
+    wall = time.perf_counter() - start
+    text = sweep_to_json(doc)
+    path = Path(output)
+    path.write_text(text)
+    print(
+        f"sweep: {len(doc['cells'])} cells (profile={profile}) with "
+        f"jobs={jobs} in {wall:.2f}s on a {os.cpu_count()}-cpu host",
+        file=out,
+        flush=True,
+    )
+    print(f"sweep: results written to {path}", file=out, flush=True)
+    if not check:
+        return 0
+    start = time.perf_counter()
+    ref = sweep_to_json(sweep_document(quick=quick, seed=seed, jobs=1))
+    serial_wall = time.perf_counter() - start
+    if ref != text:
+        print(
+            "sweep: CHECK FAILED — parallel result differs from the serial "
+            "reference (a cell is not a pure function of its spec)",
+            file=out,
+        )
+        return 1
+    print(
+        f"sweep: check OK — jobs={jobs} byte-identical to serial "
+        f"(serial wall {serial_wall:.2f}s vs {wall:.2f}s)",
+        file=out,
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench-suite fan-out (`repro bench --jobs N`)
+# ----------------------------------------------------------------------
+def run_bench_scenarios(names: Iterable[str], *, quick: bool = False, jobs: int = 1):
+    """Run named bench scenarios as cells; ScenarioResults in name order."""
+    cells = [
+        _cell(
+            "bench_scenario",
+            f"bench/{name}",
+            name,
+            0,
+            0,
+            quick=bool(quick),
+        )
+        for name in names
+    ]
+    return run_cells(cells, jobs=jobs)

@@ -123,10 +123,14 @@ class MessageStats:
         self.receives: Counter[Tuple[int, str]] = Counter()
         #: total sends per kind
         self.sends_by_kind: Counter[str] = Counter()
-        #: (sum_hops, count) of delivered logical messages per kind
-        self.hops_by_kind: Dict[str, list] = defaultdict(lambda: [0, 0])
+        #: (sum_hops, count) of delivered logical messages per kind.
+        #: Plain dicts (get-or-init in ``record_delivery``) rather than
+        #: ``defaultdict(lambda: ...)``: a lambda factory cannot be
+        #: pickled, and stats objects cross process boundaries in the
+        #: parallel sweep runner.
+        self.hops_by_kind: Dict[str, list] = {}
         #: (sum_latency_ms, count) of delivered logical messages per kind
-        self.latency_by_kind: Dict[str, list] = defaultdict(lambda: [0.0, 0])
+        self.latency_by_kind: Dict[str, list] = {}
         #: number of originated input events per kind
         self.originations: Counter[str] = Counter()
         #: messages dropped in flight, per (kind, reason) — loss, outage,
@@ -206,12 +210,116 @@ class MessageStats:
 
     def record_delivery(self, msg: Message, now: float) -> None:
         """Record final delivery of a logical message (hops & latency)."""
-        acc = self.hops_by_kind[msg.kind]
+        kind = msg.kind
+        acc = self.hops_by_kind.get(kind)
+        if acc is None:
+            acc = self.hops_by_kind[kind] = [0, 0]
         acc[0] += msg.hops
         acc[1] += 1
-        lat = self.latency_by_kind[msg.kind]
+        lat = self.latency_by_kind.get(kind)
+        if lat is None:
+            lat = self.latency_by_kind[kind] = [0.0, 0]
         lat[0] += now - msg.born
         lat[1] += 1
+
+    # -- snapshot / merge ----------------------------------------------
+    #: counters keyed by a (a, b) pair tuple — serialized as [a, b, v].
+    _PAIR_COUNTERS = ("sends", "receives", "drops_per_kind")
+    #: counters keyed by a plain kind string — serialized as [kind, v].
+    _KIND_COUNTERS = (
+        "sends_by_kind",
+        "originations",
+        "duplicates_by_kind",
+        "duplicates_suppressed",
+        "retransmissions",
+        "dead_letters",
+        "reliable_sends",
+        "reliable_acked",
+        "reliable_cancelled",
+        "unknown_payloads",
+    )
+    #: (sum, count) accumulator tables — serialized as [kind, sum, count].
+    _ACC_TABLES = ("hops_by_kind", "latency_by_kind")
+    #: plain scalar fields.
+    _SCALARS = ("in_flight_at_reset",)
+
+    SNAPSHOT_VERSION = 1
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe, deterministic dump of every counter.
+
+        The inverse of :meth:`from_snapshot`.  Tuple counter keys become
+        sorted ``[key..., value]`` rows (JSON has no tuple keys), floats
+        survive a ``json`` round trip exactly (repr serialization of
+        binary64), and rows are sorted so two equal ledgers always
+        produce byte-identical serialized snapshots.  This is how worker
+        processes of the parallel sweep runner return their accounting.
+        """
+        snap: Dict[str, Any] = {"version": self.SNAPSHOT_VERSION}
+        for name in self._PAIR_COUNTERS:
+            counter = getattr(self, name)
+            snap[name] = sorted([a, b, v] for (a, b), v in counter.items())
+        for name in self._KIND_COUNTERS:
+            counter = getattr(self, name)
+            snap[name] = sorted([k, v] for k, v in counter.items())
+        for name in self._ACC_TABLES:
+            table = getattr(self, name)
+            snap[name] = sorted([k, acc[0], acc[1]] for k, acc in table.items())
+        for name in self._SCALARS:
+            snap[name] = getattr(self, name)
+        return snap
+
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "MessageStats":
+        """Rebuild a :class:`MessageStats` from :meth:`to_snapshot` output."""
+        version = snap.get("version")
+        if version != cls.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported MessageStats snapshot version {version!r} "
+                f"(expected {cls.SNAPSHOT_VERSION})"
+            )
+        stats = cls()
+        for name in cls._PAIR_COUNTERS:
+            counter = getattr(stats, name)
+            for a, b, v in snap.get(name, ()):
+                counter[(a, b)] = v
+        for name in cls._KIND_COUNTERS:
+            counter = getattr(stats, name)
+            for k, v in snap.get(name, ()):
+                counter[k] = v
+        for name in cls._ACC_TABLES:
+            table = getattr(stats, name)
+            for k, total, count in snap.get(name, ()):
+                table[k] = [total, count]
+        for name in cls._SCALARS:
+            setattr(stats, name, snap.get(name, 0))
+        return stats
+
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """Accumulate ``other``'s counters into this ledger (in place).
+
+        Pure element-wise addition, so merging is order-independent for
+        every integer counter; the float latency sums are added in the
+        caller's iteration order (the sweep runner merges cells in spec
+        order, keeping merged output deterministic).  Returns ``self``
+        for chaining.
+        """
+        for name in self._PAIR_COUNTERS + self._KIND_COUNTERS:
+            mine = getattr(self, name)
+            for key, v in getattr(other, name).items():
+                mine[key] += v
+        for name in self._ACC_TABLES:
+            mine = getattr(self, name)
+            for key, acc in getattr(other, name).items():
+                tgt = mine.get(key)
+                if tgt is None:
+                    mine[key] = [acc[0], acc[1]]
+                else:
+                    tgt[0] += acc[0]
+                    tgt[1] += acc[1]
+        for name in self._SCALARS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
 
     # -- queries -------------------------------------------------------
     def mean_hops(self, kind: str) -> float:
@@ -332,18 +440,24 @@ class Network:
         src: int,
         dst: int,
         msg: Message,
-        on_arrival: Callable[[Message], None],
+        on_arrival: Callable[..., None],
+        *cb_args: Any,
     ) -> None:
         """Transmit ``msg`` one physical hop from ``src`` to ``dst``.
 
         Accounting: a send at ``src`` and (on arrival) a receive at
         ``dst`` are recorded under ``msg.kind``; ``msg.hops`` is
-        incremented.  ``on_arrival(msg)`` runs at the destination after
-        the hop delay — unless the fault injector drops the hop or the
-        destination died in flight, in which case the loss is recorded
-        under ``drops_per_kind`` and the handler never runs.  An
-        injected duplicate schedules a second, independently delayed
-        arrival carrying a field-identical copy of the message.
+        incremented.  ``on_arrival(*cb_args, msg)`` runs at the
+        destination after the hop delay — unless the fault injector
+        drops the hop or the destination died in flight, in which case
+        the loss is recorded under ``drops_per_kind`` and the handler
+        never runs.  An injected duplicate schedules a second,
+        independently delayed arrival carrying a field-identical copy of
+        the message.
+
+        ``cb_args`` lets hot callers pass a bound method plus its
+        leading arguments instead of allocating a per-hop closure (the
+        overlay's routing step is the main user; see PERFORMANCE.md).
         """
         self.stats.record_send(src, msg.kind)
         if self.tracer is not None:
@@ -367,7 +481,7 @@ class Network:
             dup_delay = None
 
         self.in_flight += 1
-        self.sim.schedule(delay, self._arrive, dst, on_arrival, msg)
+        self.sim.schedule(delay, self._arrive, dst, on_arrival, cb_args, msg)
         if dup_delay is not None:
             # The copy keeps msg_id/root_id (it *is* the same logical
             # message) but routes independently from here on.
@@ -375,10 +489,16 @@ class Network:
             if c is not None:
                 c.inc("net.duplicates")
             self.in_flight += 1
-            self.sim.schedule(dup_delay, self._arrive, dst, on_arrival, replace(msg))
+            self.sim.schedule(
+                dup_delay, self._arrive, dst, on_arrival, cb_args, replace(msg)
+            )
 
     def _arrive(
-        self, dst: int, on_arrival: Callable[[Message], None], m: Message
+        self,
+        dst: int,
+        on_arrival: Callable[..., None],
+        cb_args: Tuple[Any, ...],
+        m: Message,
     ) -> None:
         """Complete one physical hop at ``dst`` (scheduled by :meth:`hop`).
 
@@ -391,7 +511,10 @@ class Network:
             self.stats.record_drop(m.kind, DROP_DEAD_DEST)
             return
         self.stats.record_receive(dst, m.kind)
-        on_arrival(m)
+        if cb_args:
+            on_arrival(*cb_args, m)
+        else:
+            on_arrival(m)
 
     def record_delivery(self, node: int, msg: Message) -> None:
         """Record final delivery of a logical message (stats + trace)."""

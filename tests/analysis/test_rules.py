@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D008)."""
+"""Positive and negative cases for every simlint rule (D001–D009)."""
 
 import textwrap
 
@@ -20,6 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
+        "D009",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -374,3 +375,38 @@ def test_d008_does_not_flag_simulated_time(tmp_path):
         return sim.now + 50.0
     """
     assert run_lint(tmp_path, "workload/scenario.py", clean) == []
+
+
+# ---------------------------------------------------------------- D009
+def test_d009_flags_process_spawning_outside_sanctioned_homes(tmp_path):
+    source = """\
+    import multiprocessing
+    import multiprocessing.pool
+    from multiprocessing import Pool
+    import os
+    from os import fork
+
+    def fan_out():
+        os.fork()
+    """
+    findings = run_lint(tmp_path, "workload/fanout.py", source)
+    # two imports + one from-import + `from os import fork` + one call
+    # (`import os` alone is fine)
+    assert codes(findings) == ["D009"] * 5
+
+
+def test_d009_allows_perf_package_benchmarks_and_tests(tmp_path):
+    source = "import multiprocessing\np = multiprocessing.get_context('fork')\n"
+    assert run_lint(tmp_path, "perf/parallel.py", source) == []
+    assert run_lint(tmp_path, "benchmarks/bench_x.py", source) == []
+    assert run_lint(tmp_path, "tests/test_pool.py", source) == []
+
+
+def test_d009_does_not_flag_plain_os_use(tmp_path):
+    clean = """\
+    import os
+
+    def cpu_budget():
+        return os.cpu_count() or 1
+    """
+    assert run_lint(tmp_path, "analysis/report.py", clean) == []

@@ -96,6 +96,35 @@ def test_stats_csv_covers_every_messagestats_counter():
         )
 
 
+def test_stats_snapshot_covers_every_messagestats_counter():
+    """Audit guard: a new MessageStats field must show up in the snapshot.
+
+    ``to_snapshot()`` is what worker processes ship back to the parallel
+    sweep runner; a field missing from it would silently vanish from
+    merged (parallel) results while surviving serial ones — exactly the
+    kind of divergence the jobs=1 vs jobs=N byte-compare exists to
+    catch, so guard it structurally too.
+    """
+    from repro.sim.network import MessageStats
+
+    stats = MessageStats()
+    registered = (
+        set(MessageStats._PAIR_COUNTERS)
+        | set(MessageStats._KIND_COUNTERS)
+        | set(MessageStats._ACC_TABLES)
+        | set(MessageStats._SCALARS)
+    )
+    for name in vars(stats):
+        if name.startswith("_"):
+            continue
+        assert name in registered, (
+            f"MessageStats.{name} is not in the snapshot field registry; "
+            "add it to _PAIR_COUNTERS/_KIND_COUNTERS/_ACC_TABLES/_SCALARS"
+        )
+    snap = stats.to_snapshot()
+    assert set(snap) == registered | {"version"}
+
+
 def test_export_all_exposes_string_variant():
     import repro.bench.export as export
 

@@ -1,0 +1,200 @@
+"""Parallel sweep orchestration: determinism, merging, interop.
+
+The contract under test (PERFORMANCE.md): a sweep document is a pure
+function of its cell specs — running the cells serially, or fanned
+across any number of worker processes, produces byte-identical output.
+These tests exercise that end to end with deliberately small cells so
+the whole module stays cheap enough for tier 1.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.bench.harness import SweepCache
+from repro.core import MiddlewareConfig
+from repro.perf.parallel import (
+    SweepCell,
+    SweepGroup,
+    build_sweep,
+    measured_cell,
+    run_cell,
+    run_cells,
+    run_bench_scenarios,
+    run_sweep,
+    snapshot_run,
+    sweep_document,
+    sweep_to_json,
+)
+
+TINY = MiddlewareConfig(batch_size=1)
+
+
+def tiny_measured(n, seed=0):
+    return measured_cell(
+        n, config=TINY, seed=seed, warmup_extra_ms=300.0, measure_ms=800.0
+    )
+
+
+def tiny_groups():
+    return [
+        SweepGroup(
+            name="fig_sweep",
+            x_label="N",
+            xs=(6.0, 8.0),
+            cells=(tiny_measured(6), tiny_measured(8)),
+            projections=(
+                ("fig6a_load", "load_components"),
+                ("fig8_hops", "hop_components"),
+            ),
+        ),
+        SweepGroup(
+            name="churn_availability",
+            x_label="churn rate (fail+join /s)",
+            xs=(0.3,),
+            cells=(
+                SweepCell(
+                    runner="churn_availability",
+                    label="churn/r0.3",
+                    scenario="churn_availability",
+                    n_nodes=6,
+                    seed=7,
+                    params=(("measure_ms", 1_000.0), ("rate", 0.3)),
+                ),
+            ),
+        ),
+        SweepGroup(
+            name="loss_availability",
+            x_label="per-hop loss rate",
+            xs=(0.05,),
+            cells=(
+                SweepCell(
+                    runner="loss_availability",
+                    label="loss/p0.05",
+                    scenario="loss_availability",
+                    n_nodes=6,
+                    seed=7,
+                    params=(
+                        ("churn_rate", 0.1),
+                        ("loss", 0.05),
+                        ("measure_ms", 1_000.0),
+                    ),
+                ),
+            ),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# cell specs
+# ----------------------------------------------------------------------
+def test_cells_are_picklable_value_objects():
+    cell = tiny_measured(6)
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+    assert clone.kwargs()["measure_ms"] == 800.0
+
+
+def test_unknown_runner_is_rejected():
+    bogus = SweepCell(
+        runner="nope", label="x", scenario="x", n_nodes=1, seed=0
+    )
+    with pytest.raises(ValueError, match="unknown cell runner"):
+        run_cell(bogus)
+
+
+def test_measured_cell_result_is_json_safe():
+    result = run_cell(tiny_measured(6))
+    json.dumps(result)  # snapshots must survive a JSON hop unchanged
+    rebuilt = snapshot_run(json.loads(json.dumps(result)))
+    direct = snapshot_run(result)
+    assert rebuilt.metrics.load_components() == direct.metrics.load_components()
+    assert rebuilt.queries_posted == direct.queries_posted
+
+
+# ----------------------------------------------------------------------
+# the determinism contract: jobs=N is byte-identical to serial
+# ----------------------------------------------------------------------
+def test_parallel_sweep_matches_serial_byte_for_byte():
+    serial = sweep_to_json(sweep_document(groups=tiny_groups(), jobs=1))
+    fanned = sweep_to_json(sweep_document(groups=tiny_groups(), jobs=4))
+    assert fanned == serial
+
+
+def test_run_cells_preserves_cell_order():
+    cells = [tiny_measured(n) for n in (8, 6)]  # deliberately unsorted
+    results = run_cells(cells, jobs=2)
+    assert [r["n_nodes"] for r in results] == [8, 6]
+
+
+def test_sweep_document_shape():
+    doc = sweep_document(groups=tiny_groups(), jobs=1)
+    assert doc["suite"] == "repro-sweep"
+    assert set(doc["figures"]) == {
+        "fig6a_load",
+        "fig8_hops",
+        "churn_availability",
+        "loss_availability",
+    }
+    fig = doc["figures"]["fig6a_load"]
+    assert fig["xs"] == [6.0, 8.0]
+    assert all(len(vals) == 2 for vals in fig["series"].values())
+    # one index row per cell, each carrying the byte-identity witness
+    assert len(doc["cells"]) == 4
+    assert all(len(row["stats_sha256"]) == 64 for row in doc["cells"])
+
+
+def test_run_sweep_writes_and_self_checks(tmp_path, monkeypatch, capsys):
+    import repro.perf.parallel as parallel
+
+    monkeypatch.setattr(
+        parallel, "build_sweep", lambda *, quick, seed: tiny_groups()
+    )
+    out_path = tmp_path / "SWEEP_results.json"
+    rc = run_sweep(jobs=2, quick=True, output=str(out_path), check=True)
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["schema_version"] == 1
+    printed = capsys.readouterr().out
+    assert "check OK" in printed
+    # timing and host facts go to stdout only, never into the artifact
+    assert "cells" in doc and "wall" not in doc and "jobs" not in doc
+
+
+def test_standard_sweep_profiles_build():
+    quick = build_sweep(quick=True)
+    full = build_sweep(quick=False)
+    assert [g.name for g in quick] == [g.name for g in full]
+    assert sum(len(g.cells) for g in full) > sum(len(g.cells) for g in quick)
+    # every cell must name a registered runner
+    from repro.perf.parallel import CELL_RUNNERS
+
+    for group in quick + full:
+        assert len(group.xs) == len(group.cells)
+        for cell in group.cells:
+            assert cell.runner in CELL_RUNNERS
+
+
+# ----------------------------------------------------------------------
+# SweepCache interop (figure benches route through prefetch)
+# ----------------------------------------------------------------------
+def test_sweepcache_parallel_fill_matches_serial():
+    kwargs = dict(config=TINY, seed=0, measure_ms=800.0, warmup_extra_ms=300.0)
+    serial = SweepCache(**kwargs)
+    fanned = SweepCache(**kwargs, jobs=2)
+    ns = [6, 8]
+    assert fanned.load_series(ns) == serial.load_series(ns)
+    assert fanned.hop_series(ns) == serial.hop_series(ns)
+    assert fanned.overhead_series(ns) == serial.overhead_series(ns)
+
+
+# ----------------------------------------------------------------------
+# bench-suite fan-out
+# ----------------------------------------------------------------------
+def test_bench_scenarios_fan_out_in_name_order():
+    results = run_bench_scenarios(
+        ["ring_build", "dft_incremental"], quick=True, jobs=2
+    )
+    assert [r.name for r in results] == ["ring_build", "dft_incremental"]
+    assert all(r.wall_s >= 0.0 for r in results)

@@ -1,0 +1,192 @@
+"""CalendarQueue unit tests: ordering, pointer discipline, resizing.
+
+The calendar queue (Brown 1988) must be an exact drop-in for the heapq
+backend: same pop order for any push/pop/cancel history, including the
+histories that stress its search pointer (earlier pushes landing behind
+it) and its bucket-width estimator (bursts of simultaneous events).
+The differential tests at the bottom drive both backends with the same
+randomized schedule and require identical sequences.
+"""
+
+import heapq
+
+import pytest
+
+from repro.sim.engine import CalendarQueue, Simulator
+from repro.sim.rng import RngRegistry
+
+
+def _entry(time, seq):
+    # the queue stores (time, seq, handle); ordering never inspects the
+    # handle, so tests can carry any payload there
+    return (time, seq, None)
+
+
+def drain(q, limit=None):
+    out = []
+    while True:
+        e = q.pop(limit)
+        if e is None:
+            return out
+        out.append(e)
+
+
+class TestOrdering:
+    def test_pops_in_time_then_seq_order(self):
+        q = CalendarQueue()
+        entries = [_entry(t, s) for s, t in enumerate([5.0, 1.0, 3.0, 1.0, 4.0])]
+        for e in entries:
+            q.push(e)
+        assert drain(q) == sorted(entries)
+
+    def test_simultaneous_times_pop_in_seq_order(self):
+        q = CalendarQueue()
+        for seq in (3, 0, 2, 1):
+            q.push(_entry(10.0, seq))
+        assert [e[1] for e in drain(q)] == [0, 1, 2, 3]
+
+    def test_empty_pop_returns_none(self):
+        q = CalendarQueue()
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_limit_declines_future_entries(self):
+        q = CalendarQueue()
+        q.push(_entry(50.0, 0))
+        assert q.pop(limit=49.0) is None
+        assert len(q) == 1  # declined, not consumed
+        assert q.pop(limit=50.0) == _entry(50.0, 0)
+
+    def test_limit_decline_does_not_corrupt_order(self):
+        # A declined pop must not commit the search pointer past an
+        # entry pushed (behind it) afterwards.
+        q = CalendarQueue()
+        q.push(_entry(1_000.0, 0))
+        assert q.pop(limit=10.0) is None
+        q.push(_entry(5.0, 1))
+        assert q.pop(limit=10.0) == _entry(5.0, 1)
+        assert q.pop() == _entry(1_000.0, 0)
+
+
+class TestPointerDiscipline:
+    def test_push_behind_pointer_is_found_first(self):
+        # far-future push advances the pointer; a later near-future push
+        # must drag it back (the pointer is a lower bound, not an exact
+        # position)
+        q = CalendarQueue()
+        q.push(_entry(10_000.0, 0))
+        q.push(_entry(10.0, 1))
+        assert q.pop() == _entry(10.0, 1)
+        assert q.pop() == _entry(10_000.0, 0)
+
+    def test_push_at_zero_after_pops(self):
+        q = CalendarQueue()
+        for seq, t in enumerate([100.0, 200.0, 300.0]):
+            q.push(_entry(t, seq))
+        assert q.pop()[0] == 100.0
+        q.push(_entry(0.0, 99))  # "now" is behind the committed pointer
+        assert q.pop() == _entry(0.0, 99)
+
+    def test_sparse_far_apart_times_use_fallback_scan(self):
+        # times many ring-laps apart: the full-ring scan must fall back
+        # to a direct global-min search rather than spin
+        q = CalendarQueue()
+        times = [0.0, 1e6, 2e9, 3e7, 42.0]
+        for seq, t in enumerate(times):
+            q.push(_entry(t, seq))
+        assert [e[0] for e in drain(q)] == sorted(times)
+
+
+class TestResize:
+    def test_grows_and_shrinks_with_population(self):
+        q = CalendarQueue()
+        n = 1_000
+        for seq in range(n):
+            q.push(_entry(float(seq % 97), seq))
+        assert q.n_buckets > CalendarQueue.MIN_BUCKETS
+        grown_resizes = q.resizes
+        assert drain(q) == sorted(_entry(float(s % 97), s) for s in range(n))
+        assert q.n_buckets == CalendarQueue.MIN_BUCKETS  # shrank back
+        assert q.resizes > grown_resizes
+
+    def test_width_survives_burst_of_simultaneous_events(self):
+        # the width estimator samples *distinct* times; a mass of
+        # simultaneous events must not collapse the width to its floor
+        # (which once meant thousands of empty-window scans per pop)
+        q = CalendarQueue()
+        for seq in range(256):
+            q.push(_entry(0.0, seq))
+        for seq in range(256, 512):
+            q.push(_entry(float(seq), seq))
+        assert q.width > CalendarQueue.MIN_WIDTH
+        out = drain(q)
+        assert out == sorted(out)
+        assert len(out) == 512
+
+    def test_rejects_non_power_of_two_buckets(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(n_buckets=48)
+
+
+class TestDifferentialVsHeap:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_history_matches_heapq(self, seed):
+        rng = RngRegistry(seed=seed).get("calqueue-fuzz")
+        cal = CalendarQueue()
+        heap = []
+        seq = 0
+        popped_cal = []
+        popped_heap = []
+        for _ in range(2_000):
+            r = rng.random()
+            if r < 0.6 or not heap:
+                # cluster times (simultaneity) and spread scales (resize)
+                t = float(round(rng.uniform(0, 500) * 4) / 4)
+                e = _entry(t, seq)
+                seq += 1
+                cal.push(e)
+                heapq.heappush(heap, e)
+            else:
+                limit = rng.uniform(0, 600) if r < 0.8 else None
+                ce = cal.pop(limit)
+                he = None
+                if heap and (limit is None or heap[0][0] <= limit):
+                    he = heapq.heappop(heap)
+                popped_cal.append(ce)
+                popped_heap.append(he)
+        popped_cal.extend(drain(cal))
+        while heap:
+            popped_heap.append(heapq.heappop(heap))
+        assert popped_cal == popped_heap
+
+
+class TestSimulatorBackend:
+    def test_backend_validation(self):
+        with pytest.raises(Exception):
+            Simulator(backend="fibheap")
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_nested_scheduling_matches_heap(self, seed):
+        def trace(backend):
+            rng = RngRegistry(seed=seed).get("sched-fuzz")
+            sim = Simulator(backend=backend)
+            fired = []
+
+            def fire(tag, depth):
+                fired.append((round(sim.now, 9), tag))
+                if depth < 3:
+                    for j in range(int(rng.integers(0, 3))):
+                        delay = float(round(rng.uniform(0, 40) * 8) / 8)
+                        sim.schedule(delay, fire, f"{tag}.{j}", depth + 1)
+
+            handles = []
+            for i in range(60):
+                delay = float(round(rng.uniform(0, 120) * 8) / 8)
+                handles.append(sim.schedule(delay, fire, str(i), 0))
+            for i in range(0, 60, 7):
+                handles[i].cancel()
+            sim.run(until=90.0)
+            sim.run()
+            return fired
+
+        assert trace("calendar") == trace("heap")

@@ -1,0 +1,110 @@
+"""MessageStats snapshot round-trip and merge semantics.
+
+The parallel sweep runner ships per-cell accounting across process
+boundaries as ``to_snapshot()`` documents and reassembles them with
+``from_snapshot()`` / ``merge()``; these tests pin the contract that
+round trip is exact (including a JSON hop) and merging is plain
+element-wise addition.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.export import stats_to_csv_string
+from repro.sim.network import Message, MessageStats
+
+
+def _populated_stats() -> MessageStats:
+    stats = MessageStats()
+    stats.record_send(1, "mbr")
+    stats.record_send(1, "mbr")
+    stats.record_send(2, "query")
+    stats.record_receive(2, "mbr")
+    stats.record_origination("mbr")
+    stats.record_drop("mbr", "loss")
+    stats.record_duplicate("query")
+    stats.record_duplicate_suppressed("query")
+    stats.record_retransmission("mbr")
+    stats.record_dead_letter("mbr")
+    stats.record_reliable_send("mbr")
+    stats.record_reliable_ack("mbr")
+    stats.record_reliable_cancelled("subscribe")
+    stats.record_unknown_payload("mystery")
+    stats.record_delivery(
+        Message(kind="mbr", payload=None, origin=1, dest_key=7, hops=3, born=10.0),
+        now=160.0,
+    )
+    stats.in_flight_at_reset = 4
+    return stats
+
+
+def test_snapshot_round_trip_exact():
+    stats = _populated_stats()
+    rebuilt = MessageStats.from_snapshot(stats.to_snapshot())
+    assert stats_to_csv_string(rebuilt) == stats_to_csv_string(stats)
+    assert rebuilt.to_snapshot() == stats.to_snapshot()
+
+
+def test_snapshot_survives_json():
+    """Tuple counter keys and float sums must survive a JSON hop exactly."""
+    stats = _populated_stats()
+    snap = json.loads(json.dumps(stats.to_snapshot()))
+    rebuilt = MessageStats.from_snapshot(snap)
+    assert stats_to_csv_string(rebuilt) == stats_to_csv_string(stats)
+    assert rebuilt.latency_by_kind["mbr"] == [150.0, 1]
+
+
+def test_snapshot_is_deterministic_bytes():
+    a = json.dumps(_populated_stats().to_snapshot(), sort_keys=True)
+    b = json.dumps(_populated_stats().to_snapshot(), sort_keys=True)
+    assert a == b
+
+
+def test_snapshot_version_checked():
+    with pytest.raises(ValueError, match="snapshot version"):
+        MessageStats.from_snapshot({"version": 99})
+    with pytest.raises(ValueError, match="snapshot version"):
+        MessageStats.from_snapshot({})
+
+
+def test_merge_is_elementwise_addition():
+    a = _populated_stats()
+    b = MessageStats()
+    b.record_send(1, "mbr")
+    b.record_send(3, "notify")
+    b.record_delivery(
+        Message(kind="mbr", payload=None, origin=2, dest_key=9, hops=2, born=0.0),
+        now=50.0,
+    )
+    b.record_delivery(
+        Message(kind="query", payload=None, origin=2, dest_key=9, hops=5, born=0.0),
+        now=250.0,
+    )
+    b.in_flight_at_reset = 1
+
+    merged = a.merge(b)
+    assert merged is a  # in place, returns self for chaining
+    assert a.sends[(1, "mbr")] == 3
+    assert a.sends[(3, "notify")] == 1
+    assert a.sends_by_kind["mbr"] == 3
+    assert a.hops_by_kind["mbr"] == [5, 2]
+    assert a.hops_by_kind["query"] == [5, 1]
+    assert a.latency_by_kind["mbr"] == [200.0, 2]
+    assert a.in_flight_at_reset == 5
+
+
+def test_merge_empty_is_identity():
+    a = _populated_stats()
+    before = a.to_snapshot()
+    a.merge(MessageStats())
+    assert a.to_snapshot() == before
+
+
+def test_stats_pickle_round_trip():
+    """No unpicklable factories: stats objects cross process boundaries."""
+    import pickle
+
+    stats = _populated_stats()
+    clone = pickle.loads(pickle.dumps(stats))
+    assert stats_to_csv_string(clone) == stats_to_csv_string(stats)
