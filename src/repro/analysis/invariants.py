@@ -46,6 +46,7 @@ __all__ = [
     "check_index_placement",
     "check_message_conservation",
     "check_delivery_policy",
+    "check_replica_placement",
     "check_invariants",
     "assert_invariants",
     "InvariantError",
@@ -308,6 +309,83 @@ def check_message_conservation(network: "Network") -> InvariantReport:
 
 
 # ----------------------------------------------------------------------
+# replica placement (DESIGN.md §10)
+# ----------------------------------------------------------------------
+def check_replica_placement(
+    system: "StreamIndexSystem", *, now: Optional[float] = None
+) -> InvariantReport:
+    """Check every live MBR has its ``r - 1`` successor replicas.
+
+    For each live primary MBR held by its span's *last* covering node,
+    the first ``r - 1`` live non-covering successors (the replication
+    targets) must each hold a same-version copy — as a replica, or as
+    a primary if a handoff promoted it.  Only meaningful at quiescence:
+    the ring must be stabilized and at least one anti-entropy round plus
+    its acks must have drained, otherwise in-flight pushes legitimately
+    show up as missing copies.  Trivially clean at r = 1.
+    """
+    report = InvariantReport()
+    if system.config.replication_factor <= 1:
+        return report
+    now = system.sim.now if now is None else now
+    # MBRs younger than one repair cycle (two stabilization rounds for
+    # the anti-entropy re-push, the ack cooldown, plus flight time) may
+    # legitimately still have their replica pushes in the air — the
+    # invariant is about *converged* placements, not in-flight ones.
+    from ..core.replication import REPUSH_COOLDOWN_HOPS
+
+    period = system.stabilizer.period_ms if system.stabilizer else 500.0
+    grace = 2.0 * period + (REPUSH_COOLDOWN_HOPS + 2.0) * system.config.hop_delay_ms
+    bspan = system.config.workload.bspan_ms
+    for app in system.all_apps:
+        if not app.node.alive:
+            continue
+        mgr = app.runtime.holder.replication
+        for stored in app.index.live_mbrs(now):
+            age = bspan - (stored.expires - now)
+            if age < grace:
+                continue
+            vlow, vhigh = stored.mbr.first_coordinate_interval
+            klow, khigh = system.mapper.key_range(vlow, vhigh)
+            if not mgr.is_last_holder(klow, khigh):
+                continue
+            for target in mgr.replica_targets(klow, khigh):
+                target_app = system.apps.get(target.node_id)
+                report.checks_run += 1
+                if target_app is None or not target_app.node.alive:
+                    report.violations.append(
+                        Violation(
+                            "replication",
+                            f"N{app.node_id}",
+                            f"replica target N{target.node_id} for "
+                            f"{stored.mbr.stream_id!r} has no live app",
+                        )
+                    )
+                    continue
+                peer = target_app.runtime.holder
+                held = any(
+                    entry.expires == stored.expires
+                    for entry in peer.replication.store.get(
+                        stored.mbr.stream_id, ()
+                    )
+                ) or any(
+                    copy.expires == stored.expires
+                    for copy in peer.index._mbrs.get(stored.mbr.stream_id, ())
+                )
+                if not held:
+                    report.violations.append(
+                        Violation(
+                            "replication",
+                            f"N{app.node_id}",
+                            f"successor N{target.node_id} holds no copy of "
+                            f"{stored.mbr.stream_id!r} version "
+                            f"{stored.expires!r}",
+                        )
+                    )
+    return report
+
+
+# ----------------------------------------------------------------------
 # delivery policy
 # ----------------------------------------------------------------------
 def check_delivery_policy(system: "StreamIndexSystem") -> InvariantReport:
@@ -373,6 +451,7 @@ def check_invariants(
     index: bool = True,
     messages: bool = True,
     delivery: bool = True,
+    replication: bool = True,
 ) -> InvariantReport:
     """Run the full invariant sweep over a system.
 
@@ -380,6 +459,8 @@ def check_invariants(
     state; under *active* churn pass ``fingers=False`` and expect index
     placement to hold only for MBRs published since convergence (stale
     ones expire within BSPAN — run the system forward before checking).
+    The replica-placement check (skipped automatically at r = 1)
+    additionally needs a post-churn anti-entropy round to have drained.
     """
     report = check_ring(system.ring, fingers=fingers)
     if index:
@@ -388,6 +469,8 @@ def check_invariants(
         _merge(report, check_message_conservation(system.network))
     if delivery:
         _merge(report, check_delivery_policy(system))
+    if replication:
+        _merge(report, check_replica_placement(system))
     return report
 
 

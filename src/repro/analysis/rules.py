@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D009).
+"""The simlint rule catalog (D001–D010).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -15,7 +15,9 @@ inside routing and index math (``chord``/``core``), while RNG hygiene
 registry/dispatch coherence (D007) apply everywhere outside test code;
 performance-timer containment (D008) and process-spawn containment
 (D009) apply everywhere except the sanctioned measurement and
-orchestration homes (``repro/perf`` and ``benchmarks``).
+orchestration homes (``repro/perf`` and ``benchmarks``); raw-send
+containment (D010) binds inside ``chord``/``core`` outside the
+overlay/runtime/reliable modules that *are* the sanctioned send path.
 """
 
 from __future__ import annotations
@@ -804,6 +806,60 @@ class ProcessSpawnContainmentRule(LintRule):
                         f"process fork `{dotted}` outside repro/perf and "
                         "benchmarks/; fan work out through "
                         "repro.perf.parallel.run_cells",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D010 — raw network transmission outside the overlay/runtime layer
+# ----------------------------------------------------------------------
+@register
+class RawNetworkSendRule(LintRule):
+    """Physical sends go through the overlay / reliable / dispatch path.
+
+    Every message the simulated fabric carries must be observable by
+    the reliability layer (retransmission, dead-letter accounting) and
+    the dispatch layer (dedup, acks) — that is what makes the
+    availability figures trustworthy and the replication subsystem's
+    at-most-once installs sound.  A direct ``*.network.hop(...)`` or
+    ``*.network.local(...)`` call anywhere else creates traffic those
+    layers never see.  Sanctioned homes: :mod:`repro.sim` (the fabric
+    itself), :mod:`repro.chord.dht` (the overlay's routing primitives),
+    :mod:`repro.core.runtime` and :mod:`repro.core.reliable` (dispatch
+    and retry).  Anything else routes via
+    ``NodeRuntime.reliable_route`` / ``DhtOverlay.route`` /
+    ``DhtOverlay.send_direct``, or carries an inline justification.
+    """
+
+    code = "D010"
+    title = "raw network send outside the overlay/runtime layer"
+
+    _BANNED_SUFFIXES = ("network.hop", "network.local")
+    _SANCTIONED = ("core/runtime.py", "core/reliable.py", "chord/dht.py")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        if not _in_packages(path, ("sim", "chord", "core")):
+            return False
+        if _in_packages(path, ("sim",)):
+            return False  # the fabric's own implementation
+        normalized = "/".join(_parts(path))
+        return not any(normalized.endswith(s) for s in cls._SANCTIONED)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for suffix in self._BANNED_SUFFIXES:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    self.report(
+                        node,
+                        f"raw network send `{dotted}(...)` bypasses the "
+                        "reliable/dispatch path; route via "
+                        "NodeRuntime.reliable_route or the DhtOverlay "
+                        "primitives",
                     )
                     break
         self.generic_visit(node)

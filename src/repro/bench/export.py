@@ -68,7 +68,14 @@ def run_to_csv(path: PathLike, run) -> Path:
         writer.writerow(["meta", "measured_ms", run.measured_ms])
         writer.writerow(["meta", "queries_posted", run.queries_posted])
         writer.writerow(["meta", "total_load", summary["total_load"]])
-        for section in ("load", "overhead", "hops", "latency_ms", "reliability"):
+        for section in (
+            "load",
+            "overhead",
+            "hops",
+            "latency_ms",
+            "reliability",
+            "replication",
+        ):
             for metric, value in summary[section].items():
                 writer.writerow([section, metric, value])
     return path
@@ -101,6 +108,9 @@ def stats_to_csv_string(stats) -> str:
         ("reliable_acked", stats.reliable_acked),
         ("reliable_cancelled", stats.reliable_cancelled),
         ("unknown_payloads", stats.unknown_payloads),
+        ("read_repairs", stats.read_repairs),
+        ("handoffs_enqueued", stats.handoffs_enqueued),
+        ("handoffs_drained", stats.handoffs_drained),
     ]
     for name, counter in counters:
         for key in sorted(counter, key=repr):

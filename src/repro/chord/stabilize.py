@@ -17,7 +17,7 @@ substrate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
 from ..sim.process import PeriodicProcess
@@ -60,6 +60,11 @@ class Stabilizer:
         self.successor_list_len = successor_list_len
         self._procs: Dict[int, PeriodicProcess] = {}
         self._finger_cursor: Dict[int, int] = {}
+        #: optional per-node callback fired after each maintenance
+        #: round — the replication layer's anti-entropy hook
+        #: (DESIGN.md §10).  ``None`` (the default) keeps stabilization
+        #: byte-identical to a build without the hook.
+        self.on_round: Optional[Callable[[ChordNode], None]] = None
 
     # ------------------------------------------------------------------
     # membership operations
@@ -130,6 +135,8 @@ class Stabilizer:
         self._check_predecessor(node)
         self._stabilize(node)
         self._fix_one_finger(node)
+        if self.on_round is not None:
+            self.on_round(node)
 
     def _check_predecessor(self, node: ChordNode) -> None:
         if node.predecessor is not None and not node.predecessor.alive:

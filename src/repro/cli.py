@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lossy.add_argument("--seed", type=int, default=7)
     lossy.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="replicas per stored MBR, counting the primary "
+        "(1 disables replication; DESIGN.md §10)",
+    )
+    lossy.add_argument(
+        "--consistency", choices=("eventual", "quorum"), default="eventual",
+        help="query read mode: first answer wins, or wait for "
+        "ceil((R+1)/2) agreeing replicas with read repair",
+    )
+    lossy.add_argument(
         "--check-invariants",
         action="store_true",
         help="after the run, stabilize the ring and verify the ring / "
@@ -409,6 +419,8 @@ def cmd_lossy(args, out) -> int:
         refresh_period_ms=args.refresh * 1000.0,
         loss_rate=args.loss,
         duplicate_rate=args.duplicate,
+        replication_factor=args.replication,
+        consistency=args.consistency,
         workload=WorkloadConfig(qrate_per_s=0.0),
     )
     system = StreamIndexSystem(
@@ -459,10 +471,27 @@ def cmd_lossy(args, out) -> int:
         rows.append([f"drops [{reason}]", count])
     if churn is not None:
         rows.append(["failures / joins", f"{churn.failures} / {churn.joins}"])
+    if args.replication > 1:
+        rows.extend(
+            [
+                ["replica pushes", sum(
+                    v for (k, v) in stats.sends_by_kind.items() if k == "replica"
+                )],
+                ["replica copies held", system.replica_count()],
+                ["replica divergence", f"{system.replica_divergence():.4f}"],
+                ["handoffs enqueued / drained", (
+                    f"{sum(stats.handoffs_enqueued.values())} / "
+                    f"{sum(stats.handoffs_drained.values())}"
+                )],
+                ["handoff backlog", system.handoff_backlog()],
+                ["read repairs", sum(stats.read_repairs.values())],
+            ]
+        )
     print(
         format_table(
             f"Lossy network (N={args.nodes}, loss={args.loss}, "
             f"dup={args.duplicate}, churn={args.churn}/s, "
+            f"r={args.replication}/{args.consistency}, "
             f"{args.duration:.0f}s)",
             ["metric", "value"],
             rows,

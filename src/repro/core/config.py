@@ -127,6 +127,18 @@ class MiddlewareConfig:
         Soft-state healing period: sources periodically re-register
         streams, re-publish their freshest unexpired MBR, and clients
         re-disseminate live subscriptions.  0 disables refresh.
+    replication_factor:
+        ``r``: number of copies of every stored MBR, counting the
+        primary (DESIGN.md §10).  The last index holder of a publish
+        span pushes ``r - 1`` replicas onto its successor list, and
+        stabilization rounds run anti-entropy / hinted-handoff repair.
+        The default of 1 keeps replication fully inert — byte-identical
+        behaviour to a build without the subsystem.
+    consistency:
+        Query read mode: ``"eventual"`` (first answer wins — the
+        paper's semantics) or ``"quorum"`` (a match is released only
+        once ``ceil((r + 1) / 2)`` replica holders report the same
+        version of the stream's MBR; stale reporters get read-repaired).
     dedup_seen_limit:
         Per-node bound on remembered delivery ids for receive-side
         duplicate suppression (FIFO eviction once full).  Sized so ids
@@ -170,6 +182,8 @@ class MiddlewareConfig:
     retry_backoff: float = 2.0
     retry_jitter_ms: float = 40.0
     refresh_period_ms: float = 0.0
+    replication_factor: int = 1
+    consistency: str = "eventual"
     dedup_seen_limit: int = 8192
     loss_rate: float = 0.0
     duplicate_rate: float = 0.0
@@ -204,6 +218,10 @@ class MiddlewareConfig:
             raise ValueError("retry_jitter_ms must be non-negative")
         if self.refresh_period_ms < 0:
             raise ValueError("refresh_period_ms must be non-negative")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.consistency not in ("eventual", "quorum"):
+            raise ValueError(f"unknown consistency mode {self.consistency!r}")
         if self.dedup_seen_limit < 1:
             raise ValueError("dedup_seen_limit must be >= 1")
         for name, rate in (("loss_rate", self.loss_rate),

@@ -172,6 +172,24 @@ class FigureMetrics:
             "unknown_payloads": float(sum(s.unknown_payloads.values())),
         }
 
+    def replication_summary(self) -> Dict[str, float]:
+        """Replication-plane counters (DESIGN.md §10), all 0 at r = 1.
+
+        ``replica_pushes`` / ``replica_acks`` are physical sends of the
+        replica kinds, ``handoff_*`` are the hinted-handoff queue's
+        enqueue/drain totals, and ``read_repairs`` counts the digest
+        pulls issued by quorum aggregators.
+        """
+        s = self.stats
+        return {
+            "replica_pushes": float(s.sends_by_kind.get("replica", 0)),
+            "replica_acks": float(s.sends_by_kind.get("replica_ack", 0)),
+            "handoffs": float(s.sends_by_kind.get("handoff", 0)),
+            "handoffs_enqueued": float(sum(s.handoffs_enqueued.values())),
+            "handoffs_drained": float(sum(s.handoffs_drained.values())),
+            "read_repairs": float(sum(s.read_repairs.values())),
+        }
+
     def drop_reasons(self) -> Dict[str, int]:
         """Total drops by reason (loss, link_loss, outage, dead_dest)."""
         return dict(self.stats.drops_by_reason())
@@ -186,4 +204,5 @@ class FigureMetrics:
             "latency_ms": self.latency_components(),
             "total_load": self.total_load(),
             "reliability": self.reliability_summary(),
+            "replication": self.replication_summary(),
         }

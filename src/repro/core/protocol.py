@@ -49,6 +49,10 @@ __all__ = [
     "HierarchyQuery",
     "SimilarityReport",
     "ResponsePush",
+    "ReplicaPublish",
+    "ReplicaAck",
+    "ReplicaDigestPull",
+    "HintedHandoff",
     "Ack",
     "next_delivery_id",
 ]
@@ -94,6 +98,14 @@ class KIND:
     so that *every* accounting category the system can emit is visible
     in one registry (:data:`KNOWN_KINDS`) — the simlint D005 rule
     rejects message kinds that are not.
+
+    The replication subsystem (DESIGN.md §10) likewise keeps its
+    traffic in its own categories so the paper's figure components stay
+    untouched: ``REPLICA`` / ``REPLICA_TRANSIT`` for replica pushes,
+    ``REPLICA_ACK`` for placement confirmations, ``REPLICA_PULL`` for
+    read-repair digests and ``HANDOFF`` / ``HANDOFF_TRANSIT`` for
+    hinted handoff.  None of these are emitted at ``replication_factor
+    = 1``.
     """
 
     MBR = "mbr"
@@ -113,6 +125,12 @@ class KIND:
     HIER_UPDATE = "hier_update"
     HIER_QUERY = "hier_query"
     HIER_RESPONSE = "hier_response"
+    REPLICA = "replica"
+    REPLICA_TRANSIT = "replica_transit"
+    REPLICA_ACK = "replica_ack"
+    REPLICA_PULL = "replica_pull"
+    HANDOFF = "handoff"
+    HANDOFF_TRANSIT = "handoff_transit"
 
 
 KNOWN_KINDS = frozenset(
@@ -266,6 +284,10 @@ class SimilaritySubscribe:
         client).
     lifespan_ms:
         Subscription lifetime.
+    consistency:
+        Read mode requested by the client: ``""`` (inherit the
+        configured default), ``"eventual"`` or ``"quorum"``
+        (DESIGN.md §10).
     """
 
     query_id: int
@@ -276,6 +298,7 @@ class SimilaritySubscribe:
     high_key: int
     middle_key: int
     lifespan_ms: float
+    consistency: str = ""
     delivery_id: int = -1
 
 
@@ -389,11 +412,19 @@ class SimilarityReport:
 
     ``matches`` maps ``query_id`` to the list of ``(stream_id,
     feature_distance)`` candidates detected since the last report.
+
+    ``versions`` carries, per reported stream id, the version token of
+    the copy the reporter matched (the MBR's absolute expiry, ms).  It
+    is populated only under replication (``replication_factor > 1``) so
+    quorum aggregators can count agreeing replicas and read-repair
+    stale ones; at r = 1 it stays empty and the wire format is
+    byte-identical to the unreplicated build.
     """
 
     reporter_id: int
     middle_key: int
     matches: Dict[int, List[Tuple[str, float]]] = field(default_factory=dict)
+    versions: Dict[str, float] = field(default_factory=dict)
     delivery_id: int = -1
 
 
@@ -418,6 +449,92 @@ class ResponsePush:
     #: id of the responding source node (inner-product pushes only);
     #: lets the client cache the stream -> source mapping (Sec. IV-D)
     source_id: int = -1
+    delivery_id: int = -1
+
+
+@payload(kind=KIND.REPLICA, dedup=True)
+@dataclass
+class ReplicaPublish:
+    """A copy of a stored MBR pushed onto the owner's successor list.
+
+    Sent by the *last* index holder of a publish span to its first
+    ``r - 1`` out-of-range successors (DESIGN.md §10); also re-sent by
+    the anti-entropy pass for unconfirmed placements and by read-repair
+    (:class:`ReplicaDigestPull`).  ``expires_ms`` is the entry's
+    absolute expiry — stable across soft-state refreshes of the same
+    MBR, so it doubles as the replica's version token.  Not
+    individually acked by the generic reliable layer: placement is
+    confirmed by an explicit :class:`ReplicaAck` and healed by
+    anti-entropy, so a lost push never becomes a dead letter.
+    """
+
+    mbr: MBR
+    source_id: int
+    low_key: int
+    high_key: int
+    owner_id: int
+    expires_ms: float
+    delivery_id: int = -1
+
+
+@payload(kind=KIND.REPLICA_ACK, dedup=True)
+@dataclass
+class ReplicaAck:
+    """A replica holder confirming one installed copy to its owner.
+
+    The owner marks ``(stream_id, expires_ms)`` confirmed for
+    ``holder_id``; entries still unconfirmed when a stabilization round
+    fires are re-pushed by the anti-entropy pass.
+    """
+
+    owner_id: int
+    holder_id: int
+    stream_id: str
+    expires_ms: float
+    delivery_id: int = -1
+
+
+@payload(kind=KIND.REPLICA_PULL)
+@dataclass
+class ReplicaDigestPull:
+    """Read-repair digest: "push what ``stale_id`` is missing".
+
+    Sent by a quorum-mode aggregator to the *freshest* reporter of a
+    stream when another reporter answered with an older version; the
+    receiver pushes its copies newer than ``have_version_ms`` straight
+    to the stale node as :class:`ReplicaPublish`.  A request/reply
+    payload: retransmits are re-answered, so no dedup.
+    """
+
+    stale_id: int
+    stream_id: str
+    have_version_ms: float
+    delivery_id: int = -1
+
+
+@payload(
+    kind=KIND.HANDOFF,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.HANDOFF,),
+)
+@dataclass
+class HintedHandoff:
+    """A replica whose owner died, re-routed to the key's new owner.
+
+    Replica holders detect the dead owner during the anti-entropy pass,
+    queue the entry as a hint, and drain the queue by content-routing
+    the entry back to ``low_key`` — the ring delivers it to whichever
+    node owns the arc now.  The receiver installs it as a primary only
+    if its arc lies inside the entry's range walk (otherwise as a plain
+    replica), then re-replicates as the new owner.
+    """
+
+    mbr: MBR
+    source_id: int
+    low_key: int
+    high_key: int
+    expires_ms: float
     delivery_id: int = -1
 
 

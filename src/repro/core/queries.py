@@ -99,12 +99,17 @@ class SimilarityQuery:
         Subscription lifetime.
     normalization:
         ``"z"`` for correlation semantics, ``"unit"`` for subsequence.
+    consistency:
+        Read mode under replication (DESIGN.md §10): ``""`` inherits
+        the configured default, ``"eventual"`` releases the first
+        answer, ``"quorum"`` waits for ⌈(r+1)/2⌉ agreeing replicas.
     """
 
     pattern: np.ndarray
     radius: float
     lifespan_ms: float
     normalization: str = "z"
+    consistency: str = ""
     query_id: int = field(default_factory=_next_query_id)
 
     def __post_init__(self) -> None:
@@ -118,6 +123,8 @@ class SimilarityQuery:
             raise ValueError("lifespan must be positive")
         if self.normalization not in ("z", "unit", "none"):
             raise ValueError(f"unknown normalization {self.normalization!r}")
+        if self.consistency not in ("", "eventual", "quorum"):
+            raise ValueError(f"unknown consistency mode {self.consistency!r}")
 
     def feature_vector(self, k: int) -> np.ndarray:
         """Extract the query's feature vector with ``k`` coefficients."""

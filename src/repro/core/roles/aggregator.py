@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...sim.network import Message
-from ..protocol import ResponsePush, SimilarityReport
+from ..protocol import KIND, ReplicaDigestPull, ResponsePush, SimilarityReport, next_delivery_id
+from ..replication import quorum_threshold
 from .base import RoleService, handles
 
 __all__ = ["AggregatorService", "AggregatorEntry"]
@@ -32,6 +33,13 @@ class AggregatorEntry:
     expires: float
     seen: Set[str] = field(default_factory=set)
     pending: List[Tuple[str, float]] = field(default_factory=list)
+    #: read mode (DESIGN.md §10): "eventual" releases the first report
+    #: of a stream; "quorum" waits for agreeing replica versions
+    consistency: str = "eventual"
+    #: quorum bookkeeping: stream id -> reporter id -> (version, dist)
+    confirm: Dict[str, Dict[int, Tuple[float, float]]] = field(default_factory=dict)
+    #: (stream, stale reporter, version) pulls already issued
+    repaired: Set[Tuple[str, int, float]] = field(default_factory=set)
 
     def absorb(self, matches: List[Tuple[str, float]]) -> int:
         """Merge a report; returns how many matches were new."""
@@ -40,6 +48,37 @@ class AggregatorEntry:
             if stream_id not in self.seen:
                 self.seen.add(stream_id)
                 self.pending.append((stream_id, dist))
+                fresh += 1
+        return fresh
+
+    def absorb_versioned(
+        self,
+        matches: List[Tuple[str, float]],
+        *,
+        reporter_id: int,
+        versions: Dict[str, float],
+        quorum: int,
+    ) -> int:
+        """Quorum merge: release a match once ``quorum`` reporters
+        agree on the freshest version seen for the stream.
+
+        Reporters carrying an older version are *not* counted (they
+        may hold a stale box that no longer matches the live data);
+        they stay recorded in ``confirm`` so the service can
+        read-repair them.  Returns how many matches were released.
+        """
+        fresh = 0
+        for stream_id, dist in matches:
+            if stream_id in self.seen:
+                continue
+            version = versions.get(stream_id, float("-inf"))
+            reporters = self.confirm.setdefault(stream_id, {})
+            reporters[reporter_id] = (version, dist)
+            vmax = max(v for v, _ in reporters.values())
+            agreeing = [d for v, d in reporters.values() if v >= vmax]
+            if len(agreeing) >= quorum:
+                self.seen.add(stream_id)
+                self.pending.append((stream_id, min(agreeing)))
                 fresh += 1
         return fresh
 
@@ -60,12 +99,32 @@ class AggregatorService(RoleService):
         #: aggregation state for queries whose middle key this node owns
         self.aggregators: Dict[int, AggregatorEntry] = {}
 
-    def ensure_entry(self, query_id: int, client_id: int, expires: float) -> None:
+    def ensure_entry(
+        self,
+        query_id: int,
+        client_id: int,
+        expires: float,
+        *,
+        consistency: str = "",
+    ) -> None:
         """Install aggregation state for a query (idempotent)."""
         self.aggregators.setdefault(
             query_id,
-            AggregatorEntry(query_id=query_id, client_id=client_id, expires=expires),
+            AggregatorEntry(
+                query_id=query_id,
+                client_id=client_id,
+                expires=expires,
+                consistency=self._resolve_consistency(consistency),
+            ),
         )
+
+    def _resolve_consistency(self, requested: str) -> str:
+        """The effective read mode: the query's ask, else the config
+        default; always "eventual" when replication is off (a quorum
+        of one copy is just the first answer)."""
+        if self.cfg.replication_factor <= 1:
+            return "eventual"
+        return requested or self.cfg.consistency
 
     def aggregator_for(self, query_id: int) -> Optional[AggregatorEntry]:
         """The aggregation state for a query, created lazily if this node
@@ -88,6 +147,7 @@ class AggregatorService(RoleService):
             query_id=query_id,
             client_id=stored.sub.client_id,
             expires=stored.expires,
+            consistency=self._resolve_consistency(stored.sub.consistency),
         )
         self.aggregators[query_id] = agg
         return agg
@@ -105,8 +165,70 @@ class AggregatorService(RoleService):
         """
         for query_id, matches in payload.matches.items():
             agg = self.aggregator_for(query_id)
-            if agg is not None:
+            if agg is None:
+                continue
+            if self.cfg.replication_factor > 1 and agg.consistency == "quorum":
+                self.absorb_quorum(
+                    agg,
+                    matches,
+                    reporter_id=payload.reporter_id,
+                    versions=payload.versions,
+                )
+            else:
                 agg.absorb(matches)
+
+    def absorb_quorum(
+        self,
+        agg: AggregatorEntry,
+        matches: List[Tuple[str, float]],
+        *,
+        reporter_id: int,
+        versions: Dict[str, float],
+    ) -> None:
+        """Quorum-mode merge plus read repair of stale reporters.
+
+        After the entry records the report, any reporter whose version
+        for a stream lags the freshest seen gets one
+        :class:`ReplicaDigestPull` (per stream and version) routed to
+        the freshest reporter, which pushes its newer copies directly
+        to the stale node — Dynamo-style read repair piggybacked on
+        the periodic report flow.
+        """
+        agg.absorb_versioned(
+            matches,
+            reporter_id=reporter_id,
+            versions=versions,
+            quorum=quorum_threshold(self.cfg.replication_factor),
+        )
+        for stream_id, _ in matches:
+            reporters = agg.confirm.get(stream_id)
+            if not reporters or len(reporters) < 2:
+                continue
+            vmax = max(v for v, _ in reporters.values())
+            fresh_id = min(r for r, (v, _) in reporters.items() if v >= vmax)
+            for stale_id, (version, _) in sorted(reporters.items()):
+                if version >= vmax:
+                    continue
+                key = (stream_id, stale_id, vmax)
+                if key in agg.repaired:
+                    continue
+                agg.repaired.add(key)
+                pull = ReplicaDigestPull(
+                    stale_id=stale_id,
+                    stream_id=stream_id,
+                    have_version_ms=version,
+                    delivery_id=next_delivery_id(),
+                )
+                msg = Message(
+                    kind=KIND.REPLICA_PULL,
+                    payload=pull,
+                    origin=self.node_id,
+                    dest_key=fresh_id,
+                )
+                self.system.overlay.route(
+                    self.node, msg, transit_kind=KIND.REPLICA_TRANSIT
+                )
+                self._stats.record_read_repair(KIND.REPLICA_PULL)
 
     # ------------------------------------------------------------------
     # periodic duties

@@ -92,6 +92,7 @@ class ClientService(RoleService):
             high_key=khigh,
             middle_key=mid,
             lifespan_ms=query.lifespan_ms,
+            consistency=query.consistency,
             delivery_id=next_delivery_id(),
         )
         self.similarity_results.setdefault(query.query_id, [])

@@ -20,15 +20,20 @@ from ..index import LocalIndex
 from ..protocol import (
     KIND,
     HierarchyQuery,
+    HintedHandoff,
     InnerProductSubscribe,
     LocateRequest,
     MbrPublish,
     RegisterStream,
+    ReplicaAck,
+    ReplicaDigestPull,
+    ReplicaPublish,
     ResponsePush,
     SimilarityReport,
     SimilaritySubscribe,
     next_delivery_id,
 )
+from ..replication import ReplicationManager
 from .base import RoleService, handles
 
 __all__ = ["IndexHolderService"]
@@ -42,6 +47,9 @@ class IndexHolderService(RoleService):
     def __init__(self, runtime) -> None:
         super().__init__(runtime)
         self.index = LocalIndex()
+        #: successor-list replica sets (DESIGN.md §10); fully inert —
+        #: no messages, events or counters — at replication_factor 1
+        self.replication = ReplicationManager(self)
 
     # ------------------------------------------------------------------
     # message handlers
@@ -75,6 +83,13 @@ class IndexHolderService(RoleService):
             high_key=payload.high_key,
             span_kind=KIND.MBR_SPAN,
         )
+        self.replication.note_primary(
+            payload.mbr,
+            source_id=payload.source_id,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
+            expires=self._sim.now + payload.lifespan_ms,
+        )
 
     @handles(SimilaritySubscribe)
     def on_similarity_subscribe(
@@ -91,7 +106,10 @@ class IndexHolderService(RoleService):
         self.index.add_similarity_sub(payload, expires=expires)
         if self.node.owns_key(payload.middle_key):
             self.runtime.aggregator.ensure_entry(
-                payload.query_id, payload.client_id, expires
+                payload.query_id,
+                payload.client_id,
+                expires,
+                consistency=payload.consistency,
             )
         self.system.multicast.continue_span(
             self.node,
@@ -161,6 +179,32 @@ class IndexHolderService(RoleService):
         )
 
     # ------------------------------------------------------------------
+    # replication handlers (DESIGN.md §10) — these payloads are only
+    # ever emitted at replication_factor > 1, but the handlers must be
+    # registered unconditionally (the delivery-policy invariant demands
+    # an owner for every payload kind on every live node)
+    # ------------------------------------------------------------------
+    @handles(ReplicaPublish)
+    def on_replica(self, message: Message, payload: ReplicaPublish) -> None:
+        """Store a replica copy pushed by a span's last holder."""
+        self.replication.install_replica(payload)
+
+    @handles(ReplicaAck)
+    def on_replica_ack(self, message: Message, payload: ReplicaAck) -> None:
+        """A replica holder confirmed one of our placements."""
+        self.replication.on_ack(payload)
+
+    @handles(ReplicaDigestPull)
+    def on_replica_pull(self, message: Message, payload: ReplicaDigestPull) -> None:
+        """Read repair: push copies newer than the puller's version."""
+        self.replication.serve_pull(payload)
+
+    @handles(HintedHandoff)
+    def on_handoff(self, message: Message, payload: HintedHandoff) -> None:
+        """Adopt a copy handed off after its owner died."""
+        self.replication.install_handoff(payload, origin=message.origin)
+
+    # ------------------------------------------------------------------
     # periodic duties
     # ------------------------------------------------------------------
     def on_notification_tick(self, now: float) -> None:
@@ -173,15 +217,38 @@ class IndexHolderService(RoleService):
         self._report_similarities(now)
 
     def _report_similarities(self, now: float) -> None:
-        """Match local MBRs against subscriptions; report to middle nodes."""
+        """Match local MBRs against subscriptions; report to middle nodes.
+
+        Under replication the node's *replica* copies are matched
+        against the same primary subscriptions (sharing the per-sub
+        reported set), and every report carries the version token of
+        each matched stream so quorum aggregators can count agreeing
+        replicas; at r = 1 both additions are inert.
+        """
+        replicated = self.cfg.replication_factor > 1
         reports: Dict[int, SimilarityReport] = {}
         for stored in self.index.similarity_subs.values():
             candidates = self.index.new_candidates(stored, now)
+            if replicated:
+                candidates = candidates + self.replication.new_candidates(
+                    stored, now
+                )
             mid = stored.sub.middle_key
             if self.node.owns_key(mid):
                 agg = self.runtime.aggregator.aggregator_for(stored.sub.query_id)
                 if agg is not None and candidates:
-                    agg.absorb(candidates)
+                    if replicated and agg.consistency == "quorum":
+                        self.runtime.aggregator.absorb_quorum(
+                            agg,
+                            candidates,
+                            reporter_id=self.node_id,
+                            versions={
+                                sid: self.replication.version_of(sid, now)
+                                for sid, _ in candidates
+                            },
+                        )
+                    else:
+                        agg.absorb(candidates)
                 continue
             if candidates or self.cfg.report_empty:
                 rep = reports.setdefault(
@@ -193,6 +260,9 @@ class IndexHolderService(RoleService):
                     ),
                 )
                 rep.matches[stored.sub.query_id] = candidates
+                if replicated:
+                    for sid, _ in candidates:
+                        rep.versions[sid] = self.replication.version_of(sid, now)
         for mid, rep in reports.items():
             self.runtime.reliable_route(
                 rep,

@@ -106,6 +106,11 @@ class StreamIndexSystem:
                 self.sim, self.ring, successor_list_len=self.config.successor_list_len
             )
             self.stabilizer.bootstrap_ring(list(self.ring))
+            if self.config.replication_factor > 1:
+                # anti-entropy / hinted-handoff duties piggyback on the
+                # per-node stabilization round (DESIGN.md §10); the hook
+                # stays None at r = 1 so default runs are byte-identical
+                self.stabilizer.on_round = self._replication_round
 
         # Sec. VI-B: optional cluster hierarchy over the ring order for
         # wide-selectivity queries
@@ -314,6 +319,50 @@ class StreamIndexSystem:
     def pending_reliable(self) -> int:
         """Reliable sends still inside their retry schedule, system-wide."""
         return sum(app.reliable.pending_count for app in self.apps.values())
+
+    # ------------------------------------------------------------------
+    # replication (DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _replication_round(self, node) -> None:
+        """Stabilizer hook: run one anti-entropy round on one node."""
+        app = self.apps.get(node.node_id)
+        if app is not None and app.node.alive:
+            app.runtime.holder.replication.on_round(self.sim.now)
+
+    def handoff_backlog(self) -> int:
+        """Hinted handoffs queued but not yet delivered, system-wide."""
+        return sum(
+            app.runtime.holder.replication.handoff_backlog()
+            for app in self.apps.values()
+            if app.node.alive
+        )
+
+    def replica_divergence(self) -> float:
+        """Fraction of live replica placements short of ``r - 1`` acks.
+
+        0.0 means every live MBR whose span was replicated has all its
+        replicas confirmed (anti-entropy has converged); 1.0 means no
+        placement is fully confirmed.  Always 0.0 at r = 1.
+        """
+        now = self.sim.now
+        live = 0
+        unconfirmed = 0
+        for app in self.apps.values():
+            if not app.node.alive:
+                continue
+            mgr = app.runtime.holder.replication
+            live += mgr.live_placements(now)
+            unconfirmed += mgr.unconfirmed_placements(now)
+        return unconfirmed / live if live else 0.0
+
+    def replica_count(self) -> int:
+        """Unexpired replica copies held across all live nodes."""
+        now = self.sim.now
+        return sum(
+            app.runtime.holder.replication.live_replica_count(now)
+            for app in self.apps.values()
+            if app.node.alive
+        )
 
     def eventual_delivery_ratio(self) -> float:
         """Acked fraction of settled reliable sends (see ``MessageStats``).

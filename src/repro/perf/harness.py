@@ -24,6 +24,12 @@ reliability machinery:
 ``dft_incremental``
     Pure summary-pipeline microbench: per-arrival incremental DFT
     updates (paper Eq. 5), scalar and bank-vectorised.
+``replication_churn``
+    The replication availability series (DESIGN.md §10): the same
+    churn-plus-correlated-failure scenario at r = 1, 2, 3, recording
+    ground-truth query recall, eventual delivery, and the message
+    overhead each extra replica costs.  The committed numbers are the
+    durability evidence: recall dips at r = 1 and recovers at r = 3.
 ``sweep_parallel``
     The quick sweep profile run serially and fanned across workers
     (``repro.perf.parallel``), reporting the wall-clock ratio, the host
@@ -282,6 +288,54 @@ def _scenario_lossy_seed11(quick: bool) -> ScenarioResult:
     return _measure("lossy_seed11", body)
 
 
+def _scenario_replication_churn(quick: bool) -> ScenarioResult:
+    from .parallel import _cell, run_cell
+
+    n_nodes = 12 if quick else 24
+    measure_ms = 8_000.0 if quick else 20_000.0
+    seed = 7
+    factors = (1, 2, 3)
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        events = 0
+        throughput: Dict[str, float] = {}
+        meta: Dict[str, object] = {
+            "n_nodes": n_nodes,
+            "seed": seed,
+            "measure_ms": measure_ms,
+            "churn_rate": 0.3,
+            "loss_rate": 0.05,
+            "consistency": "eventual",
+            "factors": list(factors),
+        }
+        for r in factors:
+            cell = _cell(
+                "replication_availability",
+                f"bench/repl/r{r}",
+                "replication_availability",
+                n_nodes,
+                seed,
+                replication=r,
+                consistency="eventual",
+                churn_rate=0.3,
+                loss=0.05,
+                measure_ms=measure_ms,
+            )
+            result = run_cell(cell)
+            events += result["events"]
+            values = result["values"]
+            throughput[f"r{r}_query_recall"] = values["query recall"]
+            throughput[f"r{r}_eventual_delivery"] = values["eventual delivery"]
+            throughput[f"r{r}_msgs_per_mbr_event"] = values["msgs per mbr event"]
+            meta[f"r{r}_replica_pushes"] = values["replica pushes"]
+            meta[f"r{r}_handoffs_drained"] = values["handoffs drained"]
+            meta[f"r{r}_read_repairs"] = values["read repairs"]
+            meta[f"r{r}_stats_sha256"] = result["stats_sha256"]
+        return events, throughput, meta
+
+    return _measure("replication_churn", body)
+
+
 def _scenario_dft_incremental(quick: bool) -> ScenarioResult:
     from ..sim.rng import RngRegistry
     from ..streams.dft import SlidingDFT, SlidingDFTBank
@@ -339,6 +393,7 @@ _SCENARIOS: Tuple[Tuple[str, Callable[[bool], ScenarioResult]], ...] = (
     ("fig6a_load", _scenario_fig6a),
     ("fig6a_calendar", _scenario_fig6a_calendar),
     ("lossy_seed11", _scenario_lossy_seed11),
+    ("replication_churn", _scenario_replication_churn),
     ("dft_incremental", _scenario_dft_incremental),
     ("sweep_parallel", _scenario_sweep_parallel),
 )

@@ -163,7 +163,14 @@ def _run_measured_cell(cell: SweepCell) -> Dict[str, Any]:
     }
 
 
-def _churn_system(cell: SweepCell, config, rate: float, measure_ms: float):
+def _churn_system(
+    cell: SweepCell,
+    config,
+    rate: float,
+    measure_ms: float,
+    *,
+    query_lifespan_ms: Optional[float] = None,
+):
     """Shared body of the churn/loss availability cells.
 
     Builds the bench_churn_availability scenario: N nodes, one stream
@@ -188,16 +195,17 @@ def _churn_system(cell: SweepCell, config, rate: float, measure_ms: float):
     ).start()
 
     system.reset_stats()
-    qid = client.post_similarity_query(
-        SimilarityQuery(
-            pattern=donor.extractor.window.values(),
-            radius=0.4,
-            lifespan_ms=measure_ms + 5_000.0,
-        )
+    query = SimilarityQuery(
+        pattern=donor.extractor.window.values(),
+        radius=0.4,
+        lifespan_ms=(
+            query_lifespan_ms if query_lifespan_ms is not None else measure_ms + 5_000.0
+        ),
     )
+    qid = client.post_similarity_query(query)
     system.run(measure_ms)
     churn.stop()
-    return system, client, churn, qid
+    return system, client, churn, qid, query
 
 
 def _run_churn_cell(cell: SweepCell) -> Dict[str, Any]:
@@ -212,7 +220,7 @@ def _run_churn_cell(cell: SweepCell) -> Dict[str, Any]:
         batch_size=2,
         workload=WorkloadConfig(qrate_per_s=0.0),
     )
-    system, client, churn, qid = _churn_system(cell, config, rate, measure_ms)
+    system, client, churn, qid, _ = _churn_system(cell, config, rate, measure_ms)
 
     stats = system.network.stats
     seconds = measure_ms / 1000.0
@@ -247,7 +255,7 @@ def _run_loss_cell(cell: SweepCell) -> Dict[str, Any]:
         duplicate_rate=0.01,
         workload=WorkloadConfig(qrate_per_s=0.0),
     )
-    system, client, churn, qid = _churn_system(
+    system, client, churn, qid, _ = _churn_system(
         cell, config, p.get("churn_rate", 0.1), measure_ms
     )
 
@@ -259,6 +267,160 @@ def _run_loss_cell(cell: SweepCell) -> Dict[str, Any]:
         "dead letters": float(sum(stats.dead_letters.values())),
         "drops": float(stats.total_drops()),
         "matches": float(len(client.similarity_results[qid])),
+    }
+    return {
+        "values": values,
+        "events": system.sim.events_processed,
+        "stats_sha256": _stats_digest(stats),
+    }
+
+
+def _similarity_recall(system, client, qid: int, query) -> Optional[float]:
+    """Ground-truth query recall, computed from the sources themselves.
+
+    *Expected* is every stream whose source is alive and whose most
+    recent publication is both still within its lifespan and inside the
+    query ball (the oracle reads ``SourceState.last_publish`` directly,
+    bypassing the overlay).  *Reported* is every stream the client ever
+    received a match for.  Recall is their overlap over expected —
+    1.0 when nothing was expected.
+    """
+    feature = query.feature_vector(system.config.k)
+    now = system.sim.now
+    expected = set()
+    for app in system.all_apps:
+        if not app.node.alive:
+            continue
+        for stream_id, src in app.sources.items():
+            last = src.last_publish
+            if last is None:
+                continue
+            if src.last_publish_ms + last.lifespan_ms <= now:
+                continue
+            if last.mbr.mindist(feature) <= query.radius + 1e-12:
+                expected.add(stream_id)
+    if not expected:
+        return None
+    reported = {m.stream_id for m in client.similarity_results[qid]}
+    return len(expected & reported) / len(expected)
+
+
+def _run_replication_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Availability vs. replication factor under churn (the r-series).
+
+    Publication is deliberately *sparse* (long value period, long MBR
+    lifespan, no soft-state refresh): once a holder crashes, its index
+    entries stay dark until the source's next natural publication,
+    which is what makes durability the replica layer's job rather than
+    the workload's.  After the churn window the membership heals
+    (stabilisation + a drain for anti-entropy and hinted handoff), a
+    *correlated failure burst* kills several ring-spread nodes at once,
+    and a fresh probe query measures recall against the ground-truth
+    oracle before the sources get a chance to republish — at ``r = 1``
+    the freshly-crashed arcs have nothing to report; at ``r > 1`` their
+    successors answer from replicas.
+    """
+    from ..core import KIND, MiddlewareConfig, SimilarityQuery, WorkloadConfig
+
+    p = cell.kwargs()
+    r = p["replication"]
+    measure_ms = p["measure_ms"]
+    config = MiddlewareConfig(
+        window_size=16,
+        batch_size=2,
+        reliable_delivery=True,
+        loss_rate=p.get("loss", 0.05),
+        duplicate_rate=0.01,
+        replication_factor=r,
+        consistency=p.get("consistency", "eventual"),
+        workload=WorkloadConfig(
+            pmin_ms=4_000.0,
+            pmax_ms=5_000.0,
+            bspan_ms=16_000.0,
+            qrate_per_s=0.0,
+            nper_ms=500.0,
+        ),
+    )
+    system, client, churn, qid, query = _churn_system(
+        cell, config, p.get("churn_rate", 0.3), measure_ms
+    )
+    if system.stabilizer is not None:
+        system.stabilizer.stabilize_until_converged()
+    system.run(p.get("drain_ms", 2_000.0))
+
+    # correlated failure burst: content-based routing co-locates the
+    # matching entries on the arcs covering the query ball, so a
+    # ring-spread burst barely touches them — kill the data centers
+    # currently *indexing the hot region* instead (deterministically:
+    # most matching entries first, never the probing client)
+    probe_radius = float(p.get("probe_radius", 0.8))
+    feature = query.feature_vector(system.config.k)
+    now = system.sim.now
+    size = system.ring.space.size
+    loaded = []
+    for app in system.all_apps:
+        if not app.node.alive or app.node_id == client.node_id:
+            continue
+        # count only *covering-placement* copies (the span walk derived
+        # from the MBR itself).  At r > 1 hinted handoff promotes
+        # replicas into out-of-span primaries; counting those would
+        # both inflate the burst size with r and aim it squarely at the
+        # replica arcs, which makes the r-series an unfair comparison
+        # against an omniscient adversary rather than a failure model.
+        matching = 0
+        for entries in app.index._mbrs.values():
+            for e in entries:
+                if e.expires <= now or e.mbr.mindist(feature) > probe_radius + 1e-12:
+                    continue
+                klow, khigh = system.mapper.key_range(*e.mbr.first_coordinate_interval)
+                width = (khigh - klow) % size
+                walked = (app.node_id - klow) % size
+                if walked < width or app.node.owns_key(khigh % size):
+                    matching += 1
+        if matching:
+            loaded.append((matching, app.node_id, app))
+    loaded.sort(key=lambda t: (-t[0], t[1]))
+    # half the hot set by default: enough to darken r = 1, while a
+    # burst that wipes out primaries *and* both replica arcs would
+    # exceed any replica scheme's tolerance and prove nothing
+    kill = int(p.get("kill", 0)) or max(1, len(loaded) // 2)
+    for _, _, app in loaded[:kill]:
+        system.fail_node(app)
+    if system.stabilizer is not None:
+        system.stabilizer.stabilize_until_converged()
+
+    # the probe is repeated: a single sub's range span is fire-and-
+    # forget, so one lost span copy can sever the whole query from its
+    # aggregator — a transport artifact, not the index durability this
+    # cell measures.  max-recall over the non-vacuous probes discounts
+    # it (a probe whose expected set is empty proves nothing).
+    recalls = []
+    for _ in range(int(p.get("probes", 2))):
+        probe = SimilarityQuery(
+            pattern=query.pattern, radius=probe_radius, lifespan_ms=10_000.0
+        )
+        probe_id = client.post_similarity_query(probe)
+        system.run(p.get("probe_ms", 1_500.0))
+        outcome = _similarity_recall(system, client, probe_id, probe)
+        if outcome is not None:
+            recalls.append(outcome)
+    recall = max(recalls) if recalls else 1.0
+
+    stats = system.network.stats
+    total_sends = float(sum(stats.sends_by_kind.values()))
+    mbr_events = max(1.0, float(stats.originations[KIND.MBR]))
+    values = {
+        "query recall": recall,
+        "eventual delivery": system.eventual_delivery_ratio(),
+        "msgs per mbr event": total_sends / mbr_events,
+        "replica divergence": system.replica_divergence(),
+        "handoff backlog": float(system.handoff_backlog()),
+        "replica pushes": float(stats.sends_by_kind[KIND.REPLICA]),
+        "handoffs drained": float(sum(stats.handoffs_drained.values())),
+        "read repairs": float(sum(stats.read_repairs.values())),
+        "matches": float(len(client.similarity_results[qid])),
+        "failures": float(churn.failures),
+        "joins": float(churn.joins),
     }
     return {
         "values": values,
@@ -285,6 +447,7 @@ CELL_RUNNERS = {
     "measured_run": _run_measured_cell,
     "churn_availability": _run_churn_cell,
     "loss_availability": _run_loss_cell,
+    "replication_availability": _run_replication_cell,
     "bench_scenario": _run_bench_scenario_cell,
 }
 
@@ -390,12 +553,16 @@ def build_sweep(*, quick: bool = False, seed: int = 0) -> List[SweepGroup]:
         avail_nodes, avail_measure = 12, 6_000.0
         churn_rates: Tuple[float, ...] = (0.0, 0.3)
         loss_rates: Tuple[float, ...] = (0.0, 0.1)
+        repl_factors: Tuple[int, ...] = (1, 2)
+        repl_measure = 8_000.0
     else:
         node_counts = PAPER_NODE_COUNTS
         fig_measure, fig_warmup = DEFAULT_MEASURE_MS, DEFAULT_WARMUP_EXTRA_MS
         avail_nodes, avail_measure = 24, 25_000.0
         churn_rates = (0.0, 0.1, 0.3)
         loss_rates = (0.0, 0.02, 0.05, 0.10)
+        repl_factors = (1, 2, 3)
+        repl_measure = 20_000.0
 
     fig_config = MiddlewareConfig(batch_size=1)  # benchmarks/conftest.py config
     groups = [
@@ -452,6 +619,26 @@ def build_sweep(*, quick: bool = False, seed: int = 0) -> List[SweepGroup]:
                     measure_ms=avail_measure,
                 )
                 for loss in loss_rates
+            ),
+        ),
+        SweepGroup(
+            name="replication_availability",
+            x_label="replication factor r",
+            xs=tuple(float(r) for r in repl_factors),
+            cells=tuple(
+                _cell(
+                    "replication_availability",
+                    f"repl/r{r}/N{avail_nodes}/s{seed + 7}",
+                    "replication_availability",
+                    avail_nodes,
+                    seed + 7,
+                    replication=r,
+                    consistency="eventual",
+                    churn_rate=0.3,
+                    loss=0.05,
+                    measure_ms=repl_measure,
+                )
+                for r in repl_factors
             ),
         ),
     ]

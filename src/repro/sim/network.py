@@ -152,6 +152,13 @@ class MessageStats:
         self.reliable_cancelled: Counter[str] = Counter()
         #: delivered payloads no handler recognised, per message kind
         self.unknown_payloads: Counter[str] = Counter()
+        #: read-repair pulls issued by quorum aggregators, per kind
+        #: (replication only — empty at replication_factor 1)
+        self.read_repairs: Counter[str] = Counter()
+        #: hinted handoffs queued for a dead owner's arc, per kind
+        self.handoffs_enqueued: Counter[str] = Counter()
+        #: hinted handoffs dispatched to the arc's new owner, per kind
+        self.handoffs_drained: Counter[str] = Counter()
         #: messages already in flight when this ledger was installed
         #: (their receives/drops land here without a matching send);
         #: set by ``StreamIndexSystem.reset_stats`` so the conservation
@@ -208,6 +215,18 @@ class MessageStats:
         """Record a delivered payload that no handler recognised."""
         self.unknown_payloads[kind] += 1
 
+    def record_read_repair(self, kind: str) -> None:
+        """Record a read-repair pull issued by a quorum aggregator."""
+        self.read_repairs[kind] += 1
+
+    def record_handoff_enqueued(self, kind: str) -> None:
+        """Record a replica copy queued for hinted handoff."""
+        self.handoffs_enqueued[kind] += 1
+
+    def record_handoff_drained(self, kind: str) -> None:
+        """Record a hinted handoff dispatched to a new owner."""
+        self.handoffs_drained[kind] += 1
+
     def record_delivery(self, msg: Message, now: float) -> None:
         """Record final delivery of a logical message (hops & latency)."""
         kind = msg.kind
@@ -237,6 +256,9 @@ class MessageStats:
         "reliable_acked",
         "reliable_cancelled",
         "unknown_payloads",
+        "read_repairs",
+        "handoffs_enqueued",
+        "handoffs_drained",
     )
     #: (sum, count) accumulator tables — serialized as [kind, sum, count].
     _ACC_TABLES = ("hops_by_kind", "latency_by_kind")

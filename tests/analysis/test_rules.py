@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D009)."""
+"""Positive and negative cases for every simlint rule (D001–D010)."""
 
 import textwrap
 
@@ -20,7 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
-        "D009",
+        "D009", "D010",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -410,3 +410,46 @@ def test_d009_does_not_flag_plain_os_use(tmp_path):
         return os.cpu_count() or 1
     """
     assert run_lint(tmp_path, "analysis/report.py", clean) == []
+
+
+# ---------------------------------------------------------------- D010
+def test_d010_flags_raw_network_sends_in_simulated_world(tmp_path):
+    source = """\
+    def leak(self, msg):
+        self.system.network.hop(1, 2, msg, None)
+        self.network.local(3, msg)
+    """
+    findings = run_lint(tmp_path, "core/roles/rogue.py", source)
+    assert codes(findings) == ["D010", "D010"]
+    findings = run_lint(tmp_path, "chord/shortcut.py", source)
+    assert codes(findings) == ["D010", "D010"]
+
+
+def test_d010_allows_sanctioned_send_paths(tmp_path):
+    source = "def f(net, msg):\n    net.network.hop(1, 2, msg, None)\n"
+    # the fabric itself, the overlay primitives, dispatch and retry
+    assert run_lint(tmp_path, "sim/network.py", source) == []
+    assert run_lint(tmp_path, "chord/dht.py", source) == []
+    assert run_lint(tmp_path, "core/runtime.py", source) == []
+    assert run_lint(tmp_path, "core/reliable.py", source) == []
+    # test code and packages outside the simulated world are out of scope
+    assert run_lint(tmp_path, "tests/test_net.py", source) == []
+    assert run_lint(tmp_path, "baselines/base.py", source) == []
+
+
+def test_d010_does_not_flag_other_network_attributes(tmp_path):
+    clean = """\
+    def stats_of(self):
+        return self.system.network.stats, self.network.in_flight
+    """
+    assert run_lint(tmp_path, "core/metrics_helper.py", clean) == []
+
+
+def test_d010_inline_suppression(tmp_path):
+    source = (
+        "def f(self, msg):\n"
+        "    self.network.hop(  # simlint: disable=D010 (substrate)\n"
+        "        1, 2, msg, None\n"
+        "    )\n"
+    )
+    assert run_lint(tmp_path, "core/hierarchy.py", source) == []

@@ -55,7 +55,15 @@ def test_run_to_csv(tmp_path):
     rows = list(csv.reader(path.open()))
     assert rows[0] == ["section", "metric", "value"]
     sections = {r[0] for r in rows[1:]}
-    assert sections == {"meta", "load", "overhead", "hops", "latency_ms", "reliability"}
+    assert sections == {
+        "meta",
+        "load",
+        "overhead",
+        "hops",
+        "latency_ms",
+        "reliability",
+        "replication",
+    }
     meta = {r[1]: r[2] for r in rows if r[0] == "meta"}
     assert meta["n_nodes"] == "6"
     assert float(meta["total_load"]) > 0
@@ -89,6 +97,7 @@ def test_stats_csv_covers_every_messagestats_counter():
             "duplicates_by_kind", "duplicates_suppressed",
             "retransmissions", "dead_letters", "reliable_sends",
             "reliable_acked", "reliable_cancelled", "unknown_payloads",
+            "read_repairs", "handoffs_enqueued", "handoffs_drained",
         }
         assert expected == "meta" or expected in counter_names, (
             f"MessageStats.{name} is not covered by stats_to_csv_string; "

@@ -128,6 +128,9 @@ def test_summary_bundle():
         "latency_ms",
         "total_load",
         "reliability",
+        "replication",
     }
     assert out["reliability"]["availability"] == 1.0  # nothing tracked
     assert out["reliability"]["drops"] == 0.0
+    assert out["replication"]["replica_pushes"] == 0.0  # inert at r = 1
+    assert out["replication"]["read_repairs"] == 0.0

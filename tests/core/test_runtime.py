@@ -26,11 +26,15 @@ from repro.core.protocol import (
     PAYLOAD_REGISTRY,
     Ack,
     HierarchyQuery,
+    HintedHandoff,
     InnerProductSubscribe,
     LocateReply,
     LocateRequest,
     MbrPublish,
     RegisterStream,
+    ReplicaAck,
+    ReplicaDigestPull,
+    ReplicaPublish,
     ResponsePush,
     SimilarityReport,
     SimilaritySubscribe,
@@ -114,6 +118,30 @@ PAYLOAD_FACTORIES = {
     ),
     ResponsePush: lambda app, peer: ResponsePush(
         client_id=app.node_id, query_id=7, similarity=[("sX", 0.1)]
+    ),
+    ReplicaPublish: lambda app, peer: ReplicaPublish(
+        mbr=MBR.of_point(np.array([0.5, 0.5]), stream_id="sX"),
+        source_id=peer.node_id,
+        low_key=peer.node_id,
+        high_key=peer.node_id,
+        owner_id=peer.node_id,
+        expires_ms=5_000.0,
+    ),
+    ReplicaAck: lambda app, peer: ReplicaAck(
+        owner_id=app.node_id,
+        holder_id=peer.node_id,
+        stream_id="sX",
+        expires_ms=5_000.0,
+    ),
+    ReplicaDigestPull: lambda app, peer: ReplicaDigestPull(
+        stale_id=peer.node_id, stream_id="sX", have_version_ms=1_000.0
+    ),
+    HintedHandoff: lambda app, peer: HintedHandoff(
+        mbr=MBR.of_point(np.array([0.5, 0.5]), stream_id="sX"),
+        source_id=peer.node_id,
+        low_key=peer.node_id,
+        high_key=peer.node_id,
+        expires_ms=5_000.0,
     ),
 }
 

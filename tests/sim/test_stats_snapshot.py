@@ -31,6 +31,10 @@ def _populated_stats() -> MessageStats:
     stats.record_reliable_ack("mbr")
     stats.record_reliable_cancelled("subscribe")
     stats.record_unknown_payload("mystery")
+    stats.record_read_repair("replica_pull")
+    stats.record_handoff_enqueued("handoff")
+    stats.record_handoff_enqueued("handoff")
+    stats.record_handoff_drained("handoff")
     stats.record_delivery(
         Message(kind="mbr", payload=None, origin=1, dest_key=7, hops=3, born=10.0),
         now=160.0,
