@@ -22,8 +22,22 @@ Two halves, one contract (DESIGN.md §7):
 Run the linter with ``python -m repro lint [paths]``.
 """
 
-from .baseline import load_baseline, split_baselined, write_baseline
+from .baseline import load_baseline, split_baselined, stale_entries, write_baseline
 from .findings import Finding, fingerprint, format_finding
+from .flow import (
+    FLOW_RULES,
+    analyze_flow,
+    build_flow_graph,
+    check_flow,
+    render_flow_table,
+)
+from .flowgraph import (
+    HandlerSite,
+    MessageFlowGraph,
+    MutationSite,
+    PayloadDecl,
+    SendSite,
+)
 from .invariants import (
     InvariantReport,
     Violation,
@@ -47,6 +61,17 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "split_baselined",
+    "stale_entries",
+    "FLOW_RULES",
+    "analyze_flow",
+    "build_flow_graph",
+    "check_flow",
+    "render_flow_table",
+    "MessageFlowGraph",
+    "PayloadDecl",
+    "SendSite",
+    "HandlerSite",
+    "MutationSite",
     "Violation",
     "InvariantReport",
     "check_ring",

@@ -18,7 +18,12 @@ from typing import Iterable, List, Tuple, Union
 
 from .findings import Finding, fingerprint
 
-__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "split_baselined",
+    "stale_entries",
+]
 
 PathLike = Union[str, Path]
 
@@ -73,3 +78,25 @@ def split_baselined(
         else:
             fresh.append(finding)
     return fresh, grandfathered
+
+
+def stale_entries(
+    findings: Iterable[Finding], baseline: "Counter[str]"
+) -> List[str]:
+    """Baseline entries no longer matched by any current finding.
+
+    The hygiene counterpart of :func:`split_baselined`: a grandfathered
+    fingerprint whose finding has since been fixed (or whose line was
+    rewritten) should leave the baseline, or the file silently rots
+    into a list of suppressions nobody can audit.  Multiset semantics
+    match the loader: an entry listed twice with one surviving finding
+    is stale once.  Returned sorted, one string per stale occurrence
+    (``python -m repro lint --prune-baseline`` fails while this is
+    non-empty; ``--write`` rewrites the file without them).
+    """
+    remaining = Counter(baseline)
+    for finding in findings:
+        fp = fingerprint(finding)
+        if remaining[fp] > 0:
+            remaining[fp] -= 1
+    return sorted(remaining.elements())

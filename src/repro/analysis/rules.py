@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D010).
+"""The simlint rule catalog (D001–D011).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -17,7 +17,10 @@ performance-timer containment (D008) and process-spawn containment
 (D009) apply everywhere except the sanctioned measurement and
 orchestration homes (``repro/perf`` and ``benchmarks``); raw-send
 containment (D010) binds inside ``chord``/``core`` outside the
-overlay/runtime/reliable modules that *are* the sanctioned send path.
+overlay/runtime/reliable modules that *are* the sanctioned send path;
+silent exception swallowing (D011) binds inside the simulated world
+(``sim``/``chord``/``core``) where a dropped error means silently
+corrupted protocol state rather than a visible crash.
 """
 
 from __future__ import annotations
@@ -862,4 +865,68 @@ class RawNetworkSendRule(LintRule):
                         "primitives",
                     )
                     break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D011 — silent exception swallowing inside the simulated world
+# ----------------------------------------------------------------------
+@register
+class SilentExceptionRule(LintRule):
+    """No bare ``except:`` or swallowed ``except Exception:`` in sim code.
+
+    The simulated world is deterministic by construction, so an
+    exception there is a *logic bug*, never an environmental hiccup to
+    shrug off.  A bare ``except:`` (which also eats ``KeyboardInterrupt``
+    and ``SystemExit``) or an ``except Exception: pass`` turns that bug
+    into silently corrupted protocol state — messages half-applied,
+    counters off by one — that surfaces runs later as an invariant
+    violation nobody can trace.  Catch a *specific* exception, or handle
+    the broad one visibly (re-raise, record, or repair state, as
+    ``chord/stabilize.py`` does).
+    """
+
+    code = "D011"
+    title = "silently swallowed exception in sim/chord/core"
+
+    _BROAD_NAMES = {"Exception", "BaseException"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not is_test_path(path) and _in_packages(
+            path, ("sim", "chord", "core")
+        )
+
+    @staticmethod
+    def _is_noop_body(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                # bare `...` or a docstring-style literal — still a no-op
+                continue
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` swallows every exception including "
+                "KeyboardInterrupt; catch a specific exception type",
+            )
+        else:
+            name = _dotted_name(node.type) or ""
+            if (
+                name.rsplit(".", 1)[-1] in self._BROAD_NAMES
+                and self._is_noop_body(node.body)
+            ):
+                self.report(
+                    node,
+                    f"`except {name}:` with a no-op body silently discards "
+                    "a logic bug; handle it visibly or catch a specific "
+                    "exception type",
+                )
         self.generic_visit(node)

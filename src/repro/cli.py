@@ -213,11 +213,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write current findings to the baseline file and exit 0",
     )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="fail if the baseline lists findings no longer emitted "
+        "(baseline hygiene; combine with --write to rewrite it)",
+    )
+    lint.add_argument(
+        "--write",
+        action="store_true",
+        help="with --prune-baseline: rewrite the baseline keeping only "
+        "still-emitted findings",
+    )
 
     sub.add_parser(
         "protocol",
         help="print the message-kind x role-handler table from the live "
         "protocol registry (DESIGN.md §8)",
+    )
+
+    flow = sub.add_parser(
+        "flow",
+        help="simflow: whole-program protocol-flow analysis — the "
+        "role×kind send/handle/ack graph and the F001-F005 checks "
+        "(DESIGN.md §11)",
+    )
+    flow.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="source roots to analyze (default: src)",
+    )
+    flow.add_argument(
+        "--baseline",
+        default="flow-baseline.txt",
+        help="baseline file of grandfathered flow findings",
+    )
+    flow.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    flow.add_argument(
+        "--dot",
+        metavar="FILE",
+        help="also write the message-flow graph in Graphviz DOT form",
+    )
+    flow.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on findings not covered by the baseline",
     )
 
     rs = sub.add_parser("ring-stats", help="Chord ring diagnostics")
@@ -564,6 +609,7 @@ def cmd_lint(args, out) -> int:
         lint_paths,
         load_baseline,
         split_baselined,
+        stale_entries,
         write_baseline,
     )
 
@@ -574,7 +620,34 @@ def cmd_lint(args, out) -> int:
             f"wrote {len(findings)} finding(s) to {args.baseline}", file=out
         )
         return 0
-    fresh, grandfathered = split_baselined(findings, load_baseline(args.baseline))
+    baseline = load_baseline(args.baseline)
+    if args.prune_baseline:
+        stale = stale_entries(findings, baseline)
+        if not stale:
+            print(
+                f"simlint: baseline {args.baseline} is tight "
+                f"({sum(baseline.values())} entr(ies), none stale)",
+                file=out,
+            )
+            return 0
+        if args.write:
+            _, grandfathered = split_baselined(findings, baseline)
+            write_baseline(grandfathered, args.baseline)
+            print(
+                f"simlint: pruned {len(stale)} stale entr(ies) from "
+                f"{args.baseline} ({len(grandfathered)} kept)",
+                file=out,
+            )
+            return 0
+        for entry in stale:
+            print(f"stale: {entry}", file=out)
+        print(
+            f"simlint: {len(stale)} baseline entr(ies) no longer "
+            f"emitted — rerun with --prune-baseline --write",
+            file=out,
+        )
+        return 1
+    fresh, grandfathered = split_baselined(findings, baseline)
     for finding in fresh:
         print(format_finding(finding), file=out)
     suffix = f" ({len(grandfathered)} baselined)" if grandfathered else ""
@@ -592,7 +665,7 @@ def cmd_protocol(_args, out) -> int:
     the same metadata drives runtime dedup/ack policy, the delivery
     invariant checker and simlint D007.
     """
-    from .core.protocol import PAYLOAD_REGISTRY
+    from .core.protocol import registry_items
     from .core.runtime import DEFAULT_SERVICES
 
     handler_of = {}
@@ -603,7 +676,7 @@ def cmd_protocol(_args, out) -> int:
                 f"{service_cls.__name__}.{method_name}",
             )
     rows = []
-    for payload_type, spec in PAYLOAD_REGISTRY.items():
+    for payload_type, spec in registry_items():
         role, handler = handler_of.get(payload_type, ("(runtime)", "NodeRuntime.deliver"))
         rows.append(
             [
@@ -611,6 +684,7 @@ def cmd_protocol(_args, out) -> int:
                 spec.kind,
                 "yes" if spec.dedup else "no",
                 ",".join(sorted(spec.ack_kinds)) if spec.ack_kinds else "-",
+                ",".join(sorted(spec.senders)) if spec.senders else "-",
                 role,
                 handler,
             ]
@@ -618,11 +692,54 @@ def cmd_protocol(_args, out) -> int:
     print(
         format_table(
             "Protocol registry: payload delivery policy and role dispatch",
-            ["payload", "kind", "dedup", "ack on kinds", "role", "handler"],
+            ["payload", "kind", "dedup", "ack on kinds", "senders", "role", "handler"],
             rows,
         ),
         file=out,
     )
+    return 0
+
+
+def cmd_flow(args, out) -> int:
+    """simflow: static protocol-flow table, DOT export and F checks."""
+    from pathlib import Path as _Path
+
+    from .analysis import (
+        analyze_flow,
+        format_finding,
+        load_baseline,
+        render_flow_table,
+        split_baselined,
+        write_baseline,
+    )
+
+    graph, findings = analyze_flow(args.paths)
+    print(render_flow_table(graph), file=out)
+    print(
+        f"\nflow graph: {len(graph.payloads)} payload type(s), "
+        f"{len(graph.sends)} send site(s), "
+        f"{len(graph.handlers)} handler(s)",
+        file=out,
+    )
+    if args.dot:
+        _Path(args.dot).write_text(graph.to_dot())
+        print(f"wrote flow graph to {args.dot}", file=out)
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline}", file=out
+        )
+        return 0
+    fresh, grandfathered = split_baselined(
+        findings, load_baseline(args.baseline)
+    )
+    for finding in fresh:
+        print(format_finding(finding), file=out)
+    suffix = f" ({len(grandfathered)} baselined)" if grandfathered else ""
+    if fresh:
+        print(f"simflow: {len(fresh)} finding(s){suffix}", file=out)
+        return 1 if args.check else 0
+    print(f"simflow: clean{suffix}", file=out)
     return 0
 
 
@@ -668,6 +785,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "lint": cmd_lint,
     "protocol": cmd_protocol,
+    "flow": cmd_flow,
     "ring-stats": cmd_ring_stats,
 }
 

@@ -33,11 +33,14 @@ from .queries import InnerProductQuery
 __all__ = [
     "KIND",
     "KNOWN_KINDS",
+    "KNOWN_ROLES",
+    "RUNTIME_ROLE",
     "is_known_kind",
     "PayloadSpec",
     "PAYLOAD_REGISTRY",
     "payload",
     "spec_of",
+    "registry_items",
     "MbrPublish",
     "SimilaritySubscribe",
     "RegisterStream",
@@ -152,6 +155,23 @@ def is_known_kind(kind: str) -> bool:
     return kind in KNOWN_KINDS
 
 
+RUNTIME_ROLE = "(runtime)"
+"""Pseudo-role for traffic the dispatch layer itself originates (acks)."""
+
+KNOWN_ROLES = frozenset(
+    {"source", "index-holder", "aggregator", "client", RUNTIME_ROLE}
+)
+"""Every role name a payload may declare as a legal sender.
+
+The four real roles mirror the paper's Fig. 5 participants (stream
+sources, index holders, the report aggregator, posing clients); the
+:data:`RUNTIME_ROLE` pseudo-role covers middleware-originated traffic
+such as delivery acknowledgements.  The ``repro flow`` static analyzer
+checks every send site it discovers against the sending payload's
+declared ``senders`` set (rule F002).
+"""
+
+
 @dataclass(frozen=True)
 class PayloadSpec:
     """Delivery policy of one payload type (see :func:`payload`).
@@ -183,6 +203,21 @@ class PayloadSpec:
     dedup: bool = False
     ack_on_delivery: bool = False
     ack_kinds: FrozenSet[str] = frozenset()
+    #: roles legally allowed to put this payload on the wire (subset of
+    #: :data:`KNOWN_ROLES`); the flow analyzer's F002 rule flags send
+    #: sites in any other role
+    senders: FrozenSet[str] = frozenset()
+    #: class name of the payload answering this one (request/reply
+    #: semantics); the flow analyzer's F004 rule demands a statically
+    #: reachable send site of the response from this payload's handlers.
+    #: By name rather than by type so a request may name a reply that is
+    #: declared later in this module.
+    response: Optional[str] = None
+    #: flow discipline: ``"normal"`` payloads need a send site and a
+    #: handler (F001); ``"reserved"`` payloads are declared wire format
+    #: without an in-tree sender yet; ``"ack"`` payloads are consumed by
+    #: the dispatch layer itself instead of a role handler
+    flow: str = "normal"
 
 
 PAYLOAD_REGISTRY: Dict[Type, PayloadSpec] = {}
@@ -193,12 +228,28 @@ from the registry (``python -m repro protocol``) are deterministic.
 """
 
 
+def registry_items() -> List[Tuple[Type, PayloadSpec]]:
+    """The payload registry as a declaration-ordered list.
+
+    Single accessor shared by the ``repro protocol`` CLI table and the
+    ``repro flow`` static analyzer so the two can never disagree about
+    which payload types exist or in which order they are listed.
+    """
+    return list(PAYLOAD_REGISTRY.items())
+
+
+_FLOW_VALUES = ("normal", "reserved", "ack")
+
+
 def payload(
     *,
     kind: str,
     dedup: bool = False,
     ack_on_delivery: bool = False,
     ack_kinds: Iterable[str] = (),
+    senders: Iterable[str] = (),
+    response: Optional[str] = None,
+    flow: str = "normal",
 ):
     """Class decorator registering a payload type's delivery policy.
 
@@ -220,6 +271,9 @@ def payload(
         dedup=dedup,
         ack_on_delivery=ack_on_delivery,
         ack_kinds=frozenset(ack_kinds),
+        senders=frozenset(senders),
+        response=response,
+        flow=flow,
     )
     if spec.kind not in KNOWN_KINDS:
         raise ValueError(f"payload kind {spec.kind!r} is not in KNOWN_KINDS")
@@ -230,6 +284,19 @@ def payload(
         raise ValueError(
             "ack_on_delivery and ack_kinds must be declared together"
         )
+    for sender in spec.senders:
+        if sender not in KNOWN_ROLES:
+            raise ValueError(f"sender role {sender!r} is not in KNOWN_ROLES")
+    if spec.flow not in _FLOW_VALUES:
+        raise ValueError(
+            f"flow {spec.flow!r} must be one of {_FLOW_VALUES}"
+        )
+    if spec.flow == "normal" and not spec.senders:
+        raise ValueError(
+            "a normal-flow payload must declare at least one sender role"
+        )
+    if spec.flow == "reserved" and spec.senders:
+        raise ValueError("a reserved payload declares no sender roles")
 
     def register(cls: Type) -> Type:
         """Record ``cls`` with its spec in :data:`PAYLOAD_REGISTRY`."""
@@ -246,7 +313,13 @@ def spec_of(payload_type: Type) -> Optional[PayloadSpec]:
     return PAYLOAD_REGISTRY.get(payload_type)
 
 
-@payload(kind=KIND.MBR, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.MBR,))
+@payload(
+    kind=KIND.MBR,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.MBR,),
+    senders=("source",),
+)
 @dataclass
 class MbrPublish:
     """A stream source publishing one MBR of summaries.
@@ -264,7 +337,12 @@ class MbrPublish:
 
 
 @payload(
-    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+    kind=KIND.QUERY,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.QUERY,),
+    senders=("client",),
+    response="ResponsePush",
 )
 @dataclass
 class SimilaritySubscribe:
@@ -307,6 +385,7 @@ class SimilaritySubscribe:
     dedup=True,
     ack_on_delivery=True,
     ack_kinds=(KIND.REGISTER,),
+    senders=("source",),
 )
 @dataclass
 class RegisterStream:
@@ -317,7 +396,13 @@ class RegisterStream:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.QUERY, ack_on_delivery=True, ack_kinds=(KIND.QUERY,))
+@payload(
+    kind=KIND.QUERY,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.QUERY,),
+    senders=("client",),
+    response="ResponsePush",
+)
 @dataclass
 class LocateRequest:
     """Client asking the location service which node sources a stream."""
@@ -327,10 +412,17 @@ class LocateRequest:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.RESPONSE)
+@payload(kind=KIND.RESPONSE, flow="reserved")
 @dataclass
 class LocateReply:
-    """Location service answering a :class:`LocateRequest` (cacheable)."""
+    """Location service answering a :class:`LocateRequest` (cacheable).
+
+    Declared wire format with a client-side handler, but nothing sends
+    it today — the location service forwards inner-product queries to
+    the source instead of answering the client directly (Sec. IV-D), so
+    it is registered ``flow="reserved"`` and exempt from the flow
+    analyzer's F001 send-site requirement.
+    """
 
     stream_id: str
     source_id: int
@@ -338,7 +430,12 @@ class LocateReply:
 
 
 @payload(
-    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+    kind=KIND.QUERY,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.QUERY,),
+    senders=("client", "index-holder"),
+    response="ResponsePush",
 )
 @dataclass
 class InnerProductSubscribe:
@@ -349,7 +446,11 @@ class InnerProductSubscribe:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.QUERY)
+@payload(
+    kind=KIND.QUERY,
+    senders=("client", "source"),
+    response="WindowReply",
+)
 @dataclass
 class WindowRequest:
     """A client asking a stream's source for its current raw window.
@@ -367,7 +468,7 @@ class WindowRequest:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.RESPONSE)
+@payload(kind=KIND.RESPONSE, senders=("source",))
 @dataclass
 class WindowReply:
     """The source's answer to a :class:`WindowRequest`."""
@@ -379,7 +480,12 @@ class WindowReply:
 
 
 @payload(
-    kind=KIND.QUERY, dedup=True, ack_on_delivery=True, ack_kinds=(KIND.QUERY,)
+    kind=KIND.QUERY,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.QUERY,),
+    senders=("client",),
+    response="ResponsePush",
 )
 @dataclass
 class HierarchyQuery:
@@ -405,6 +511,8 @@ class HierarchyQuery:
     dedup=True,
     ack_on_delivery=True,
     ack_kinds=(KIND.NEIGHBOR_INFO,),
+    senders=("index-holder",),
+    response="ResponsePush",
 )
 @dataclass
 class SimilarityReport:
@@ -433,6 +541,7 @@ class SimilarityReport:
     dedup=True,
     ack_on_delivery=True,
     ack_kinds=(KIND.RESPONSE,),
+    senders=("aggregator", "source", "index-holder"),
 )
 @dataclass
 class ResponsePush:
@@ -452,7 +561,12 @@ class ResponsePush:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.REPLICA, dedup=True)
+@payload(
+    kind=KIND.REPLICA,
+    dedup=True,
+    senders=("index-holder",),
+    response="ReplicaAck",
+)
 @dataclass
 class ReplicaPublish:
     """A copy of a stored MBR pushed onto the owner's successor list.
@@ -477,7 +591,7 @@ class ReplicaPublish:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.REPLICA_ACK, dedup=True)
+@payload(kind=KIND.REPLICA_ACK, dedup=True, senders=("index-holder",))
 @dataclass
 class ReplicaAck:
     """A replica holder confirming one installed copy to its owner.
@@ -494,7 +608,11 @@ class ReplicaAck:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.REPLICA_PULL)
+@payload(
+    kind=KIND.REPLICA_PULL,
+    senders=("aggregator",),
+    response="ReplicaPublish",
+)
 @dataclass
 class ReplicaDigestPull:
     """Read-repair digest: "push what ``stale_id`` is missing".
@@ -517,6 +635,7 @@ class ReplicaDigestPull:
     dedup=True,
     ack_on_delivery=True,
     ack_kinds=(KIND.HANDOFF,),
+    senders=("index-holder",),
 )
 @dataclass
 class HintedHandoff:
@@ -538,7 +657,7 @@ class HintedHandoff:
     delivery_id: int = -1
 
 
-@payload(kind=KIND.ACK)
+@payload(kind=KIND.ACK, senders=(RUNTIME_ROLE,), flow="ack")
 @dataclass
 class Ack:
     """Delivery acknowledgement for a reliably-sent payload.
@@ -552,3 +671,22 @@ class Ack:
     delivery_id: int
     acker_id: int
     kind: str = ""
+
+
+def _check_response_names() -> None:
+    """Every ``response=`` name must resolve to a registered payload.
+
+    Responses are declared by class name so a request may reference a
+    reply defined later in this module; this module-end pass closes the
+    loop and keeps dangling names from reaching the flow analyzer.
+    """
+    names = {cls.__name__ for cls in PAYLOAD_REGISTRY}
+    for cls, spec in PAYLOAD_REGISTRY.items():
+        if spec.response is not None and spec.response not in names:
+            raise ValueError(
+                f"{cls.__name__} declares response {spec.response!r}, "
+                "which is not a registered payload type"
+            )
+
+
+_check_response_names()

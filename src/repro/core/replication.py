@@ -56,6 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["ReplicaEntry", "ReplicationManager", "quorum_threshold"]
 
+#: sender attribution for the ``repro flow`` static analyzer: the
+#: replication manager acts on behalf of its owning index holder, so
+#: every replica push / ack / handoff it emits is index-holder traffic
+FLOW_ROLE = "index-holder"
+
 #: Anti-entropy re-push cooldown, in units of the per-hop delay: long
 #: enough for a push + ack round trip plus routing slack, short enough
 #: that a lost replica heals within a couple of stabilization rounds.

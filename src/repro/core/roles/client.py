@@ -354,7 +354,10 @@ class ClientService(RoleService):
             if remaining <= 0:
                 del self._active_sim_queries[query_id]
                 continue
-            fresh = replace(
+            # annotated so the flow analyzer can attribute the refresh
+            # re-dissemination (``payload`` is tuple-unpacked from an
+            # attribute its constant propagation cannot see through)
+            fresh: SimilaritySubscribe = replace(
                 payload, lifespan_ms=remaining, delivery_id=next_delivery_id()
             )
             self._active_sim_queries[query_id] = (fresh, expires)

@@ -245,7 +245,10 @@ class SourceService(RoleService):
             if last is not None:
                 remaining = src.last_publish_ms + last.lifespan_ms - now
                 if remaining > 0:
-                    fresh = replace(
+                    # annotated so the flow analyzer can attribute the
+                    # refresh re-publish (``last`` comes off an attribute
+                    # its constant propagation cannot see through)
+                    fresh: MbrPublish = replace(
                         last,
                         lifespan_ms=remaining,
                         delivery_id=next_delivery_id(),

@@ -37,6 +37,11 @@ from .roles.source import SourceService
 
 __all__ = ["NodeRuntime", "DEFAULT_SERVICES"]
 
+#: sender attribution for the ``repro flow`` static analyzer: payloads
+#: put on the wire by this module (delivery acks) originate from the
+#: dispatch layer itself, not from any Fig. 5 role
+FLOW_ROLE = "(runtime)"
+
 #: the Fig. 5 role set, in tick fan-out order: the notification tick
 #: must run purge/report (holder) -> response push (aggregator) ->
 #: inner-product push (source), and the refresh tick re-asserts source

@@ -146,6 +146,133 @@ def test_conservation_holds_across_stats_reset():
     assert check_message_conservation(system.network).ok
 
 
+# ------------------------------------------------------------ ownership
+def test_overlapping_ownership_arc_detected():
+    ring = built_ring()
+    ids = ring.node_ids
+    node = ring.node(ids[3])
+    # widen the node's arc backwards: it now claims keys the true
+    # predecessor owns (and its predecessor pointer is wrong too)
+    node.predecessor = ring.node(ids[1])
+    report = check_ring(ring, fingers=False)
+    assert not report.ok
+    assert any(
+        "owned by its predecessor" in v.message for v in report.violations
+    )
+    assert any("predecessor is" in v.message for v in report.violations)
+
+
+def test_shrunken_ownership_arc_detected():
+    ring = built_ring()
+    ids = ring.node_ids
+    node = ring.node(ids[3])
+    true_pred = ring.node(ids[2])
+    # a phantom predecessor one key past the true one shrinks the arc:
+    # the first key of the node's true range is now unowned by anyone
+    phantom = ChordNode(
+        "phantom", (true_pred.node_id + 1) % ring.space.size, ring.space
+    )
+    node.predecessor = phantom
+    report = check_ring(ring, fingers=False)
+    assert not report.ok
+    assert any("start of its arc" in v.message for v in report.violations)
+
+
+# ------------------------------------------------------------ delivery
+def test_missing_role_handler_detected():
+    from repro.core.protocol import MbrPublish
+
+    system = small_system()
+    app = system.all_apps[0]
+    # corrupt one node's dispatch table: every other node still routes
+    # MbrPublish, so this node would silently drop protocol traffic
+    del app.runtime.dispatch._handlers[MbrPublish]
+    from repro.analysis import check_delivery_policy
+
+    report = check_delivery_policy(system)
+    assert not report.ok
+    assert any(
+        "MbrPublish has no role handler" in v.message
+        for v in report.violations
+    )
+
+
+def test_dedup_memory_inconsistency_detected():
+    from repro.analysis import check_delivery_policy
+
+    system = small_system()
+    app = system.all_apps[0]
+    # an id in the seen-set that the FIFO eviction queue never recorded
+    # can never be evicted: the dedup memory is out of sync
+    app.runtime._seen_deliveries.add(10**9)
+    report = check_delivery_policy(system)
+    assert not report.ok
+    assert any(
+        "dedup memory inconsistent" in v.message for v in report.violations
+    )
+
+
+# ------------------------------------------------------------ conservation
+def test_negative_in_flight_detected():
+    sim = Simulator()
+    net = Network(sim)
+    net.in_flight = -1  # an arrival was double-counted somewhere
+    report = check_message_conservation(net)
+    assert not report.ok
+    assert any(
+        "negative in-flight count" in v.message for v in report.violations
+    )
+
+
+def test_conservation_message_names_both_sides():
+    sim = Simulator()
+    net = Network(sim)
+    net.stats.record_send(1, "mbr")
+    report = check_message_conservation(net)
+    assert any(
+        "conservation broken" in v.message and "receives(0)" in v.message
+        for v in report.violations
+    )
+
+
+# ------------------------------------------------------------ replication
+def test_missing_replica_copy_detected():
+    from repro.analysis.invariants import check_replica_placement
+    from repro.core import MiddlewareConfig, WorkloadConfig
+
+    config = MiddlewareConfig(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=4,
+        replication_factor=2,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=100.0,
+            bspan_ms=10_000.0,
+            qrate_per_s=0.0,
+            nper_ms=500.0,
+        ),
+    )
+    system = StreamIndexSystem(8, config, seed=4, with_stabilizer=True)
+    system.attach_random_walk_streams()
+    system.warmup()
+    system.stabilizer.stabilize_until_converged()
+    period = system.stabilizer.period_ms
+    system.run(3.0 * period + 60.0 * system.config.hop_delay_ms)
+    for proc in system._stream_procs:
+        proc.stop()
+    system.run(3.0 * period + 60.0 * system.config.hop_delay_ms)
+    report = check_replica_placement(system)
+    assert report.ok and report.checks_run > 0  # converged and replicated
+    # wipe every installed replica: each owner's successor copy is gone
+    for app in system.all_apps:
+        app.runtime.holder.replication.store.clear()
+    report = check_replica_placement(system)
+    assert not report.ok
+    assert any("holds no copy" in v.message for v in report.violations)
+
+
 # ------------------------------------------------------------ combined
 def test_full_sweep_and_assert_on_steady_system():
     system = small_system()

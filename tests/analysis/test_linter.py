@@ -193,6 +193,82 @@ def test_cli_write_baseline_then_clean(tmp_path, monkeypatch):
     assert "baselined" in out.getvalue()
 
 
+# --------------------------------------------------- baseline pruning
+def test_stale_entries_detects_fixed_findings(tmp_path, monkeypatch):
+    from repro.analysis import stale_entries
+
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/bad.py", VIOLATION)
+    findings = lint_paths(["pkg"])
+    baseline_path = tmp_path / "b.txt"
+    write_baseline(findings, baseline_path)
+    baseline = load_baseline(baseline_path)
+    # nothing fixed yet: the baseline is tight
+    assert stale_entries(findings, baseline) == []
+    # fix the violation: every baselined fingerprint goes stale
+    write(tmp_path, "pkg/bad.py", "x = 1\n")
+    stale = stale_entries(lint_paths(["pkg"]), baseline)
+    assert stale == sorted(baseline.elements())
+    assert len(stale) == len(findings)
+
+
+def test_stale_entries_respects_multiset_multiplicity(tmp_path, monkeypatch):
+    from collections import Counter
+
+    from repro.analysis import stale_entries
+
+    monkeypatch.chdir(tmp_path)
+    # two identical violations on identical lines
+    write(
+        tmp_path,
+        "pkg/bad.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "rng = np.random.default_rng(0)\n",
+    )
+    findings = [f for f in lint_paths(["pkg"]) if "default_rng" in f.message]
+    assert len(findings) == 2
+    baseline = Counter({fingerprint(findings[0]): 2})
+    # both survive: nothing stale; one survives: stale exactly once
+    assert stale_entries(findings, baseline) == []
+    assert stale_entries(findings[:1], baseline) == [fingerprint(findings[0])]
+
+
+def test_cli_prune_baseline_reports_and_rewrites(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write(tmp_path, "pkg/bad.py", VIOLATION)
+    baseline = str(tmp_path / "b.txt")
+    assert main(["lint", "pkg", "--baseline", baseline, "--write-baseline"],
+                out=io.StringIO()) == 0
+
+    # still emitted: prune has nothing to do
+    out = io.StringIO()
+    assert main(["lint", "pkg", "--baseline", baseline, "--prune-baseline"],
+                out=out) == 0
+    assert "none stale" in out.getvalue()
+
+    # fix the violation: prune without --write fails and names the entries
+    write(tmp_path, "pkg/bad.py", "x = 1\n")
+    out = io.StringIO()
+    assert main(["lint", "pkg", "--baseline", baseline, "--prune-baseline"],
+                out=out) == 1
+    assert "stale:" in out.getvalue()
+    assert "--prune-baseline --write" in out.getvalue()
+
+    # --write rewrites the file; a second prune is clean and tight
+    out = io.StringIO()
+    assert main(
+        ["lint", "pkg", "--baseline", baseline, "--prune-baseline", "--write"],
+        out=out,
+    ) == 0
+    assert "pruned" in out.getvalue()
+    assert load_baseline(baseline) == {}
+    out = io.StringIO()
+    assert main(["lint", "pkg", "--baseline", baseline, "--prune-baseline"],
+                out=out) == 0
+    assert "none stale" in out.getvalue()
+
+
 def test_repo_source_tree_is_clean():
     # The committed baseline is empty: src/ must lint clean as-is.
     import repro

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D010)."""
+"""Positive and negative cases for every simlint rule (D001–D011)."""
 
 import textwrap
 
@@ -20,7 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
-        "D009", "D010",
+        "D009", "D010", "D011",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -453,3 +453,68 @@ def test_d010_inline_suppression(tmp_path):
         "    )\n"
     )
     assert run_lint(tmp_path, "core/hierarchy.py", source) == []
+
+
+# ---------------------------------------------------------------- D011
+def test_d011_flags_bare_except(tmp_path):
+    source = """\
+    def risky(self):
+        try:
+            self.step()
+        except:
+            self.recover()
+    """
+    findings = run_lint(tmp_path, "core/roles/sloppy.py", source)
+    assert codes(findings) == ["D011"]
+    assert "bare `except:`" in findings[0].message
+
+
+def test_d011_flags_swallowed_broad_except(tmp_path):
+    source = """\
+    def risky(self):
+        try:
+            self.step()
+        except Exception:
+            pass
+        try:
+            self.step()
+        except BaseException:
+            ...
+    """
+    findings = run_lint(tmp_path, "chord/sloppy.py", source)
+    assert codes(findings) == ["D011", "D011"]
+
+
+def test_d011_allows_handled_and_specific_excepts(tmp_path):
+    source = """\
+    def careful(self, log):
+        try:
+            self.step()
+        except KeyError:
+            pass
+        try:
+            self.step()
+        except Exception:
+            self.repaired = None
+        try:
+            self.step()
+        except Exception as exc:
+            log.append(exc)
+            raise
+    """
+    assert run_lint(tmp_path, "core/roles/careful.py", source) == []
+
+
+def test_d011_scoped_to_simulated_world(tmp_path):
+    source = """\
+    def risky(self):
+        try:
+            self.step()
+        except Exception:
+            pass
+    """
+    # CLI / perf / test code may legitimately shield the user from crashes
+    assert run_lint(tmp_path, "perf/harness.py", source) == []
+    assert run_lint(tmp_path, "tests/test_risky.py", source) == []
+    findings = run_lint(tmp_path, "sim/engine_ext.py", source)
+    assert codes(findings) == ["D011"]

@@ -49,6 +49,7 @@ def test_parser_lists_all_commands():
         "sweep",
         "lint",
         "protocol",
+        "flow",
     }
 
 
