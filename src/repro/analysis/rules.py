@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D011).
+"""The simlint rule catalog (D001–D012).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -20,7 +20,9 @@ containment (D010) binds inside ``chord``/``core`` outside the
 overlay/runtime/reliable modules that *are* the sanctioned send path;
 silent exception swallowing (D011) binds inside the simulated world
 (``sim``/``chord``/``core``) where a dropped error means silently
-corrupted protocol state rather than a visible crash.
+corrupted protocol state rather than a visible crash; real-network
+primitive containment (D012) bans ``socket``/``asyncio``/``threading``
+imports everywhere except ``repro/net``, the transport seam's home.
 """
 
 from __future__ import annotations
@@ -929,4 +931,57 @@ class SilentExceptionRule(LintRule):
                     "a logic bug; handle it visibly or catch a specific "
                     "exception type",
                 )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D012 — real-network primitives only inside repro/net
+# ----------------------------------------------------------------------
+@register
+class NetworkPrimitiveContainmentRule(LintRule):
+    """``socket`` / ``asyncio`` / ``threading`` live in ``repro/net`` only.
+
+    The transport seam (:mod:`repro.net.transport`) exists so that every
+    role service, the reliable sender and the runtime are portable
+    between the deterministic simulator and the asyncio peer runtime —
+    which holds only if nothing outside :mod:`repro.net` touches real
+    I/O or concurrency primitives.  A ``socket`` import in a role
+    service would hard-wire it to one transport; an ``asyncio`` or
+    ``threading`` import introduces wall-clock scheduling and
+    interleaving the simulator cannot replay, silently voiding the
+    byte-identity guarantee the sweep results rest on.  Talk to
+    :class:`repro.net.transport.Transport` instead, or put genuinely
+    transport-specific code under ``repro/net``.
+    """
+
+    code = "D012"
+    title = "socket/asyncio/threading import outside repro/net"
+
+    _BANNED_MODULES = {"socket", "asyncio", "threading"}
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        return not _in_packages(path, ("net",))
+
+    def _flag(self, node: ast.AST, module: str) -> None:
+        self.report(
+            node,
+            f"import of `{module}` outside repro/net/; role services and "
+            "runtime code talk to the Transport seam "
+            "(repro.net.transport.Transport), transport-specific code "
+            "belongs under repro/net/",
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in self._BANNED_MODULES:
+                self._flag(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module.split(".")[0] in self._BANNED_MODULES:
+            self._flag(node, module)
         self.generic_visit(node)

@@ -12,7 +12,9 @@ Usage (also via ``python -m repro``)::
     python -m repro lossy --nodes 50 --loss 0.05 --churn 0.1 --duration 20
     python -m repro bench --quick
     python -m repro lint src
-    python -m repro protocol
+    python -m repro protocol [--json]
+    python -m repro node --listen 127.0.0.1:7000 [--join HOST:PORT]
+    python -m repro client --connect 127.0.0.1:7000 status
 
 The experiment subcommands mirror the benchmark suite
 (``pytest benchmarks/ --benchmark-only``) but let you pick node counts
@@ -226,10 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
         "still-emitted findings",
     )
 
-    sub.add_parser(
+    proto = sub.add_parser(
         "protocol",
         help="print the message-kind x role-handler table from the live "
         "protocol registry (DESIGN.md §8)",
+    )
+    proto.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry dump (kind, fields, dedup/ack/"
+        "sender metadata) — the wire-schema pin for net/wire.py",
     )
 
     flow = sub.add_parser(
@@ -269,6 +277,65 @@ def build_parser() -> argparse.ArgumentParser:
     rs.add_argument("--nodes", type=int, default=100)
     rs.add_argument("--m", type=int, default=32)
     rs.add_argument("--samples", type=int, default=500)
+
+    node = sub.add_parser(
+        "node",
+        help="run one data center as a real OS process: the full role "
+        "stack over asyncio TCP framing (DESIGN.md §12)",
+    )
+    node.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to bind (port 0 picks an ephemeral port)",
+    )
+    node.add_argument(
+        "--join", default=None, metavar="HOST:PORT",
+        help="existing cluster member to join via",
+    )
+    node.add_argument(
+        "--name", default=None,
+        help="node name hashed onto the ring (default: dc-<port>); use "
+        "dc-0..dc-N to mirror a sim reference deployment",
+    )
+    node.add_argument("--m", type=int, default=32, help="ring identifier bits")
+    node.add_argument("--window", type=int, default=16, help="DFT window size")
+    node.add_argument("--batch", type=int, default=2, help="MBR batch size w")
+    node.add_argument("--k", type=int, default=2, help="feature coefficients")
+    node.add_argument(
+        "--nper", type=float, default=500.0, help="notification period (ms)"
+    )
+    node.add_argument("--seed", type=int, default=0, help="RNG seed (retry jitter)")
+
+    client = sub.add_parser(
+        "client",
+        help="drive a running `repro node` cluster: publish values, post "
+        "similarity queries, fetch results and status",
+    )
+    client.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="any cluster member's listen address",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=10.0, help="RPC timeout (seconds)"
+    )
+    csub = client.add_subparsers(dest="action", required=True)
+    pub = csub.add_parser("publish", help="ingest values into a stream")
+    pub.add_argument("--stream", required=True, help="stream id")
+    pub.add_argument(
+        "--values", required=True,
+        help="comma-separated raw values (one window or more)",
+    )
+    query = csub.add_parser("query", help="post a similarity query and wait")
+    query.add_argument(
+        "--pattern", required=True,
+        help="comma-separated pattern (exactly one window long)",
+    )
+    query.add_argument("--radius", type=float, default=0.2)
+    query.add_argument("--lifespan", type=float, default=60_000.0, help="ms")
+    query.add_argument(
+        "--wait", type=float, default=5.0,
+        help="seconds to poll for results before printing them",
+    )
+    csub.add_parser("status", help="membership, held index entries, streams")
 
     return parser
 
@@ -658,15 +725,73 @@ def cmd_lint(args, out) -> int:
     return 0
 
 
-def cmd_protocol(_args, out) -> int:
+def protocol_registry_dump() -> list:
+    """The payload registry as JSON-able rows (declaration order).
+
+    The machine-readable twin of the ``repro protocol`` table: one row
+    per payload with its class name, accounting kind, dataclass field
+    names in wire order, and delivery/flow metadata.  ``net/wire.py``
+    derives its codec table from the same registry, and a test pins the
+    two against each other, so this dump doubles as the wire-schema pin.
+    """
+    import dataclasses as _dc
+
+    from .core.protocol import registry_items
+    from .core.runtime import DEFAULT_SERVICES
+
+    handler_of = {}
+    for service_cls in DEFAULT_SERVICES:
+        for payload_type, method_name in service_cls.handlers():
+            handler_of[payload_type] = (
+                service_cls.role,
+                f"{service_cls.__name__}.{method_name}",
+            )
+    rows = []
+    for payload_type, spec in registry_items():
+        role, handler = handler_of.get(
+            payload_type, ("(runtime)", "NodeRuntime.deliver")
+        )
+        rows.append(
+            {
+                "payload": payload_type.__name__,
+                "kind": spec.kind,
+                "fields": [f.name for f in _dc.fields(payload_type)],
+                "dedup": spec.dedup,
+                "ack_on_delivery": spec.ack_on_delivery,
+                "ack_kinds": sorted(spec.ack_kinds),
+                "senders": sorted(spec.senders),
+                "response": spec.response,
+                "flow": spec.flow,
+                "role": role,
+                "handler": handler,
+            }
+        )
+    return rows
+
+
+def cmd_protocol(args, out) -> int:
     """Render the protocol registry and role dispatch as one table.
 
     Generated from the live registry, so it cannot drift from the code:
     the same metadata drives runtime dedup/ack policy, the delivery
-    invariant checker and simlint D007.
+    invariant checker, simlint D007 and the net/wire.py codec table.
     """
     from .core.protocol import registry_items
     from .core.runtime import DEFAULT_SERVICES
+
+    if getattr(args, "json", False):
+        import json as _json
+
+        from .net.wire import WIRE_VERSION
+
+        print(
+            _json.dumps(
+                {"wire_version": WIRE_VERSION, "payloads": protocol_registry_dump()},
+                indent=2,
+            ),
+            file=out,
+        )
+        return 0
 
     handler_of = {}
     for service_cls in DEFAULT_SERVICES:
@@ -772,6 +897,65 @@ def cmd_ring_stats(args, out) -> int:
     return 0
 
 
+def cmd_node(args, out) -> int:
+    """Boot one peer process (blocks until SIGINT/SIGTERM)."""
+    del out  # the peer logs to stderr; stdout stays clean
+    from .net.peer import parse_addr, run_node
+
+    name = args.name
+    if name is None:
+        name = f"dc-{parse_addr(args.listen)[1]}"
+    config = MiddlewareConfig(
+        m=args.m,
+        window_size=args.window,
+        batch_size=args.batch,
+        k=args.k,
+        hop_delay_ms=0.0,
+        workload=WorkloadConfig(qrate_per_s=0.0, nper_ms=args.nper),
+    )
+    return run_node(
+        args.listen, join=args.join, name=name, config=config, seed=args.seed
+    )
+
+
+def cmd_client(args, out) -> int:
+    """One-shot RPCs against a running peer; prints the reply as JSON."""
+    import json as _json
+    import time as _time
+
+    from .net.peer import request
+
+    def rpc(obj):
+        return request(args.connect, obj, timeout=args.timeout)
+
+    if args.action == "publish":
+        values = [float(v) for v in args.values.split(",") if v.strip()]
+        reply = rpc({"t": "publish", "stream_id": args.stream, "values": values})
+    elif args.action == "query":
+        pattern = [float(v) for v in args.pattern.split(",") if v.strip()]
+        reply = rpc(
+            {
+                "t": "query",
+                "pattern": pattern,
+                "radius": args.radius,
+                "lifespan_ms": args.lifespan,
+            }
+        )
+        if reply.get("t") == "ok":
+            qid = reply["query_id"]
+            deadline = _time.monotonic() + args.wait
+            reply = {"t": "results", "query_id": qid, "matches": []}
+            while _time.monotonic() < deadline:
+                reply = rpc({"t": "results", "query_id": qid})
+                if reply.get("matches"):
+                    break
+                _time.sleep(0.25)
+    else:  # status
+        reply = rpc({"t": "status"})
+    print(_json.dumps(reply, indent=2), file=out)
+    return 0 if reply.get("t") != "error" else 1
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "demo": cmd_demo,
@@ -787,6 +971,8 @@ _COMMANDS = {
     "protocol": cmd_protocol,
     "flow": cmd_flow,
     "ring-stats": cmd_ring_stats,
+    "node": cmd_node,
+    "client": cmd_client,
 }
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..sim.engine import EventHandle
+from ..net.transport import TransportHandle
 
 __all__ = ["ReliableSender"]
 
@@ -40,7 +40,7 @@ class _Pending:
     resend: Callable[[], None]
     on_give_up: Optional[Callable[[], None]] = None
     attempts: int = 0
-    handle: Optional[EventHandle] = field(default=None, repr=False)
+    handle: Optional[TransportHandle] = field(default=None, repr=False)
     #: the stats epoch the send was recorded under; every later event of
     #: this exchange (retry, ack, dead letter, cancel) is charged to the
     #: same epoch so ratios stay consistent across ``reset_stats()``
@@ -66,12 +66,12 @@ class ReliableSender:
         return self.app.cfg
 
     @property
-    def _sim(self):
-        return self.app.system.sim
+    def _transport(self):
+        return self.app.transport
 
     @property
     def _stats(self):
-        return self.app.system.network.stats
+        return self.app.transport.stats
 
     @property
     def pending_count(self) -> int:
@@ -123,7 +123,7 @@ class ReliableSender:
             self._cfg.ack_timeout_ms * self._cfg.retry_backoff ** pending.attempts
             + self._jitter()
         )
-        pending.handle = self._sim.schedule(
+        pending.handle = self._transport.schedule(
             timeout, self._on_timeout, pending.delivery_id
         )
 

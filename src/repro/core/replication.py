@@ -134,7 +134,7 @@ class ReplicationManager:
 
     @property
     def _now(self) -> float:
-        return self._holder._sim.now
+        return self._holder.transport.now
 
     def is_last_holder(self, low_key: int, high_key: int) -> bool:
         """The span walk's termination test: does this node own the
@@ -237,7 +237,7 @@ class ReplicationManager:
                 origin=node.node_id,
                 dest_key=target.node_id,
             )
-            self._holder.system.overlay.send_direct(node, target, msg)
+            self._holder.transport.send_direct(node, target, msg)
             pushed = True
         if pushed:
             placement.last_push_ms = self._now
@@ -295,7 +295,7 @@ class ReplicationManager:
             origin=node.node_id,
             dest_key=payload.owner_id,
         )
-        self._holder.system.overlay.route(
+        self._holder.transport.route(
             node, msg, transit_kind=KIND.REPLICA_TRANSIT
         )
 
@@ -344,7 +344,7 @@ class ReplicationManager:
                 origin=node.node_id,
                 dest_key=payload.stale_id,
             )
-            self._holder.system.overlay.route(
+            self._holder.transport.route(
                 node, msg, transit_kind=KIND.REPLICA_TRANSIT
             )
             self.read_repairs_served += 1

@@ -225,7 +225,7 @@ class AggregatorService(RoleService):
                     origin=self.node_id,
                     dest_key=fresh_id,
                 )
-                self.system.overlay.route(
+                self.transport.route(
                     self.node, msg, transit_kind=KIND.REPLICA_TRANSIT
                 )
                 self._stats.record_read_repair(KIND.REPLICA_PULL)

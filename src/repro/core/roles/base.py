@@ -95,8 +95,9 @@ class RoleService:
         return self.runtime.node_id
 
     @property
-    def _sim(self):
-        return self.runtime.sim
+    def transport(self):
+        """The Transport seam (clock, timers, send primitives)."""
+        return self.runtime.transport
 
     @property
     def _stats(self):

@@ -98,7 +98,7 @@ class ClientService(RoleService):
         self.similarity_results.setdefault(query.query_id, [])
         self._active_sim_queries[query.query_id] = (
             payload,
-            self._sim.now + query.lifespan_ms,
+            self.transport.now + query.lifespan_ms,
         )
         self._stats.record_origination(KIND.QUERY)
         self.runtime.reliable_disseminate(
@@ -149,7 +149,7 @@ class ClientService(RoleService):
         self.inner_product_results.setdefault(query.query_id, [])
         self._active_ip_queries[query.query_id] = (
             query,
-            self._sim.now + query.lifespan_ms,
+            self.transport.now + query.lifespan_ms,
         )
         self._route_inner_product(query)
         return query.query_id
@@ -215,7 +215,7 @@ class ClientService(RoleService):
             msg = Message(
                 kind=KIND.QUERY, payload=payload, origin=self.node_id, dest_key=dest_key
             )
-            self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
+            self.transport.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
 
         def give_up() -> None:
             self._window_delivery.pop(request_id, None)
@@ -255,7 +255,7 @@ class ClientService(RoleService):
         target = normalize(query.pattern)
         stream_ids = sorted({m.stream_id for m in matches})
         if not stream_ids:
-            self.system.sim.schedule(0.0, lambda: on_verified([]))
+            self.transport.schedule(0.0, lambda: on_verified([]))
             return
         state = {"pending": len(stream_ids), "verified": []}
 
@@ -285,7 +285,7 @@ class ClientService(RoleService):
         inner-product value from a stream's source, or a batch of
         similarity matches pushed by the query's aggregator.
         """
-        now = self._sim.now
+        now = self.transport.now
         if not np.isnan(payload.inner_product):
             if payload.source_id >= 0:
                 self.locate_cache[payload.stream_id] = payload.source_id

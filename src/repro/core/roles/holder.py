@@ -64,7 +64,7 @@ class IndexHolderService(RoleService):
         coordinate interval spans several arcs — the range multicast is
         continued toward the remaining covering nodes.
         """
-        self.index.add_mbr(payload.mbr, expires=self._sim.now + payload.lifespan_ms)
+        self.index.add_mbr(payload.mbr, expires=self.transport.now + payload.lifespan_ms)
         if (
             self.system.hierarchy_index is not None
             and message.kind == KIND.MBR  # primary delivery, not a span copy
@@ -74,9 +74,9 @@ class IndexHolderService(RoleService):
             self.system.hierarchy_index.publish(
                 self.node_id,
                 payload.mbr,
-                expires=self._sim.now + payload.lifespan_ms,
+                expires=self.transport.now + payload.lifespan_ms,
             )
-        self.system.multicast.continue_span(
+        self.transport.continue_span(
             self.node,
             message,
             low_key=payload.low_key,
@@ -88,7 +88,7 @@ class IndexHolderService(RoleService):
             source_id=payload.source_id,
             low_key=payload.low_key,
             high_key=payload.high_key,
-            expires=self._sim.now + payload.lifespan_ms,
+            expires=self.transport.now + payload.lifespan_ms,
         )
 
     @handles(SimilaritySubscribe)
@@ -102,7 +102,7 @@ class IndexHolderService(RoleService):
         periodic detect step, and the node owning the query's *middle
         key* additionally becomes its aggregator (Sec. IV-F).
         """
-        expires = self._sim.now + payload.lifespan_ms
+        expires = self.transport.now + payload.lifespan_ms
         self.index.add_similarity_sub(payload, expires=expires)
         if self.node.owns_key(payload.middle_key):
             self.runtime.aggregator.ensure_entry(
@@ -111,7 +111,7 @@ class IndexHolderService(RoleService):
                 expires,
                 consistency=payload.consistency,
             )
-        self.system.multicast.continue_span(
+        self.transport.continue_span(
             self.node,
             message,
             low_key=payload.low_key,

@@ -128,7 +128,7 @@ class SourceService(RoleService):
         feature = src.extractor.push(value)
         if feature is None:
             return
-        mbr = src.batcher.add(feature, now=self._sim.now)
+        mbr = src.batcher.add(feature, now=self.transport.now)
         if mbr is not None:
             src.mbrs_published += 1
             self.publish_mbr(mbr)
@@ -153,7 +153,7 @@ class SourceService(RoleService):
         )
         if src is not None:
             src.last_publish = payload
-            src.last_publish_ms = self._sim.now
+            src.last_publish_ms = self.transport.now
         self._stats.record_origination(KIND.MBR)
         self.runtime.reliable_disseminate(
             payload,
@@ -180,7 +180,7 @@ class SourceService(RoleService):
         if payload.query.stream_id not in self.sources:
             return  # stale registry entry; the stream moved or vanished
         self.index.add_inner_product_sub(
-            payload, expires=self._sim.now + payload.query.lifespan_ms
+            payload, expires=self.transport.now + payload.query.lifespan_ms
         )
 
     @handles(WindowRequest)
@@ -210,7 +210,7 @@ class SourceService(RoleService):
                 origin=self.node_id,
                 dest_key=payload.requester_id,
             )
-            self.system.overlay.route(
+            self.transport.route(
                 self.node, msg, transit_kind=KIND.RESPONSE_TRANSIT
             )
             return
@@ -224,7 +224,7 @@ class SourceService(RoleService):
             origin=self.node_id,
             dest_key=source_id,
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
+        self.transport.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
 
     # ------------------------------------------------------------------
     # periodic duties

@@ -62,11 +62,16 @@ class NodeRuntime:
         self.node = node
         self.system = system
         self.cfg = system.config
+        #: the Transport seam — the only path to the clock, the timer
+        #: wheel and the fabric's send primitives (DESIGN.md §12)
+        self.transport = system.transport
         #: ack/retry state machine (no-op unless cfg.reliable_delivery)
         self.reliable = ReliableSender(self)
-        #: delivery ids already processed here (receive-side dedup)
-        self._seen_deliveries: Set[int] = set()
-        self._seen_order: Deque[int] = deque()
+        #: deliveries already processed here (receive-side dedup), keyed
+        #: by (origin, delivery_id): delivery ids are only unique per
+        #: originating node once nodes run as separate OS processes
+        self._seen_deliveries: Set[Tuple[int, int]] = set()
+        self._seen_order: Deque[Tuple[int, int]] = deque()
         self.dispatch = DispatchTable()
         self.roles = {}
         for service_cls in services:
@@ -90,13 +95,17 @@ class NodeRuntime:
 
     @property
     def sim(self):
-        """The shared discrete-event simulator (virtual clock)."""
+        """The shared discrete-event simulator (virtual clock).
+
+        Sim-only escape hatch; transport-portable code uses
+        :attr:`transport` (``.now`` / ``.schedule``) instead.
+        """
         return self.system.sim
 
     @property
     def stats(self):
-        """The network's :class:`MessageStats` accounting object."""
-        return self.system.network.stats
+        """The transport's :class:`MessageStats` accounting object."""
+        return self.transport.stats
 
     def role(self, name: str) -> RoleService:
         """The role service registered under ``name``."""
@@ -141,7 +150,7 @@ class NodeRuntime:
             msg = Message(
                 kind=kind, payload=payload, origin=self.node_id, dest_key=dest_key
             )
-            self.system.overlay.route(self.node, msg, transit_kind=transit_kind)
+            self.transport.route(self.node, msg, transit_kind=transit_kind)
 
         self.reliable.track(payload, kind, send, on_give_up)
         send()
@@ -156,7 +165,7 @@ class NodeRuntime:
         """
 
         def send() -> None:
-            self.system.multicast.disseminate(
+            self.transport.disseminate(
                 self.node,
                 payload,
                 kind=kind,
@@ -183,15 +192,24 @@ class NodeRuntime:
     # ------------------------------------------------------------------
     # delivery policy (driven by the protocol registry)
     # ------------------------------------------------------------------
-    def _note_delivery(self, payload) -> bool:
-        """Remember a payload's delivery id; ``True`` if seen before."""
+    def _note_delivery(self, origin: int, payload) -> bool:
+        """Remember a payload's delivery; ``True`` if seen before.
+
+        Keyed by ``(origin, delivery_id)``: every legitimate duplicate
+        of a delivery (retransmission after a lost ack, span copy,
+        network-injected duplicate) is a copy of one logical message
+        and therefore shares its origin, while two *different* nodes
+        running as separate OS processes may well hand out the same
+        bare delivery id from their process-local counters.
+        """
         delivery_id = getattr(payload, "delivery_id", -1)
         if delivery_id < 0:
             return False
-        if delivery_id in self._seen_deliveries:
+        key = (origin, delivery_id)
+        if key in self._seen_deliveries:
             return True
-        self._seen_deliveries.add(delivery_id)
-        self._seen_order.append(delivery_id)
+        self._seen_deliveries.add(key)
+        self._seen_order.append(key)
         if len(self._seen_order) > self.cfg.dedup_seen_limit:
             self._seen_deliveries.discard(self._seen_order.popleft())
         return False
@@ -220,7 +238,7 @@ class NodeRuntime:
         msg = Message(
             kind=KIND.ACK, payload=ack, origin=self.node_id, dest_key=message.origin
         )
-        self.system.overlay.route(self.node, msg, transit_kind=KIND.ACK_TRANSIT)
+        self.transport.route(self.node, msg, transit_kind=KIND.ACK_TRANSIT)
 
     # ------------------------------------------------------------------
     # DHT application upcall
@@ -252,7 +270,7 @@ class NodeRuntime:
             route = (spec, self.dispatch.lookup(ptype))
             self._route[ptype] = route
         spec, handler = route
-        if spec.dedup and self._note_delivery(payload):
+        if spec.dedup and self._note_delivery(message.origin, payload):
             self.stats.record_duplicate_suppressed(message.kind)
             self._maybe_ack(message, payload, spec)
             return
@@ -270,9 +288,9 @@ class NodeRuntime:
         event keep fault-model debugging from chasing ghosts.
         """
         self.stats.record_unknown_payload(message.kind)
-        tracer = self.system.network.tracer
+        tracer = self.transport.tracer
         if tracer is not None:
-            tracer.record_unknown(self.sim.now, self.node_id, message)
+            tracer.record_unknown(self.transport.now, self.node_id, message)
 
     # ------------------------------------------------------------------
     # periodic ticks (fanned out to roles in service order)
@@ -281,7 +299,7 @@ class NodeRuntime:
         """The NPER-periodic duties: purge, detect, report, respond, push."""
         if not self.node.alive:
             return  # a crashed data center must not report from the grave
-        now = self.sim.now
+        now = self.transport.now
         for svc in self.dispatch.services:
             svc.on_notification_tick(now)
 
@@ -289,6 +307,6 @@ class NodeRuntime:
         """Soft-state healing: periodically re-assert what should exist."""
         if not self.node.alive:
             return
-        now = self.sim.now
+        now = self.transport.now
         for svc in self.dispatch.services:
             svc.on_refresh_tick(now)

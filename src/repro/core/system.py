@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from ..chord.dht import DhtOverlay
 from ..chord.ring import ChordRing
 from ..chord.stabilize import Stabilizer
+from ..net.transport import SimTransport
 from ..sim.engine import Simulator
 from ..sim.faults import FaultInjector, FaultPlan, JitteredDelay
 from ..sim.network import MessageStats, Network
@@ -100,6 +101,14 @@ class StreamIndexSystem:
         self.overlay = DhtOverlay(self.ring, self.network)
         self.mapper = mapper if mapper is not None else LinearKeyMapper(self.ring.space)
         self.multicast = RangeMulticast(self.overlay, self.config.multicast)
+        #: the Transport seam: dispatch/reliability/roles send and read
+        #: the clock through this, never through Network directly
+        self.transport = SimTransport(
+            sim=self.sim,
+            network=self.network,
+            overlay=self.overlay,
+            multicast=self.multicast,
+        )
         self.stabilizer: Optional[Stabilizer] = None
         if with_stabilizer:
             self.stabilizer = Stabilizer(

@@ -1,0 +1,286 @@
+"""Registry-driven wire format for every ``@payload`` dataclass.
+
+The protocol registry (:data:`repro.core.protocol.PAYLOAD_REGISTRY`) is
+the single source of truth for *what* can cross the wire; this module
+derives *how* it crosses from the same registry, so sim dispatch and
+socket framing can never disagree about the payload inventory
+(``python -m repro protocol --json`` pins the shared schema).
+
+Frame layout (all integers big-endian)::
+
+    +----------------+---------+------------------------+
+    | length: 4 bytes| version | body: length-1 bytes   |
+    |  (version+body)| 1 byte  |  (UTF-8 JSON object)   |
+    +----------------+---------+------------------------+
+
+JSON keeps the format dependency-free and debuggable (``nc`` + eyes);
+numpy arrays, MBRs, inner-product queries, tuples and non-string-keyed
+dicts — the field types the registry's dataclasses actually use — are
+carried by a small tagged value codec.  The payload tag is the payload's
+class name exactly as registered, its accounting kind rides along via
+the codec table for cross-checks, and unknown tags or a foreign version
+byte raise :class:`WireError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, List, NamedTuple, Tuple, Type
+
+import numpy as np
+
+from ..core.mbr import MBR
+from ..core.protocol import PAYLOAD_REGISTRY, registry_items
+from ..core.queries import InnerProductQuery
+from ..sim.network import Message
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "CodecEntry",
+    "codec_table",
+    "encode_value",
+    "decode_value",
+    "encode_payload",
+    "decode_payload",
+    "encode_message",
+    "decode_message",
+    "encode_frame",
+    "FrameDecoder",
+]
+
+#: bumped on any incompatible change to the frame or value codec
+WIRE_VERSION = 1
+
+#: refuse to buffer frames beyond this (garbage / wrong-protocol guard)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: reserved key marking a tagged value in the JSON body
+_TAG = "__t__"
+
+
+class WireError(ValueError):
+    """A frame or value that cannot be (de)coded safely."""
+
+
+class CodecEntry(NamedTuple):
+    """One payload type's row in the wire codec table."""
+
+    tag: str
+    cls: Type
+    kind: str
+    fields: Tuple[str, ...]
+
+
+_by_tag: Dict[str, CodecEntry] = {}
+_by_cls: Dict[Type, CodecEntry] = {}
+
+
+def codec_table() -> Dict[str, CodecEntry]:
+    """Tag -> codec entry for every registered payload type.
+
+    Derived from the protocol registry in declaration order; rebuilt
+    lazily when the registry grows (payload types registered after
+    import still serialize).
+    """
+    if len(_by_tag) != len(PAYLOAD_REGISTRY):
+        _by_tag.clear()
+        _by_cls.clear()
+        for cls, spec in registry_items():
+            entry = CodecEntry(
+                tag=cls.__name__,
+                cls=cls,
+                kind=spec.kind,
+                fields=tuple(f.name for f in dataclasses.fields(cls)),
+            )
+            _by_tag[entry.tag] = entry
+            _by_cls[cls] = entry
+    return _by_tag
+
+
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """JSON-able representation of one payload field value."""
+    if isinstance(value, np.ndarray):
+        return {_TAG: "nd", "dtype": str(value.dtype), "data": value.tolist()}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, MBR):
+        return {
+            _TAG: "mbr",
+            "low": value.low.tolist(),
+            "high": value.high.tolist(),
+            "stream_id": value.stream_id,
+            "count": int(value.count),
+            "created": float(value.created),
+        }
+    if isinstance(value, InnerProductQuery):
+        return {
+            _TAG: "ipq",
+            "stream_id": value.stream_id,
+            "index_vector": value.index_vector.tolist(),
+            "weight_vector": value.weight_vector.tolist(),
+            "lifespan_ms": float(value.lifespan_ms),
+            "query_id": int(value.query_id),
+        }
+    if isinstance(value, tuple):
+        return {_TAG: "tu", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and _TAG not in value:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            _TAG: "map",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise WireError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag is None:
+            return {k: decode_value(v) for k, v in value.items()}
+        if tag == "nd":
+            return np.asarray(value["data"], dtype=np.dtype(value["dtype"]))
+        if tag == "mbr":
+            return MBR(
+                low=np.asarray(value["low"], dtype=float),
+                high=np.asarray(value["high"], dtype=float),
+                stream_id=value["stream_id"],
+                count=value["count"],
+                created=value["created"],
+            )
+        if tag == "ipq":
+            return InnerProductQuery(
+                stream_id=value["stream_id"],
+                index_vector=np.asarray(value["index_vector"], dtype=float),
+                weight_vector=np.asarray(value["weight_vector"], dtype=float),
+                lifespan_ms=value["lifespan_ms"],
+                query_id=value["query_id"],
+            )
+        if tag == "tu":
+            return tuple(decode_value(v) for v in value["items"])
+        if tag == "map":
+            return {decode_value(k): decode_value(v) for k, v in value["items"]}
+        raise WireError(f"unknown value tag {tag!r}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# payload / message codec
+# ----------------------------------------------------------------------
+def encode_payload(payload: Any) -> Dict[str, Any]:
+    """``{"p": tag, "f": {field: value}}`` for a registered payload."""
+    codec_table()
+    entry = _by_cls.get(type(payload))
+    if entry is None:
+        raise WireError(
+            f"payload type {type(payload).__name__} is not in PAYLOAD_REGISTRY"
+        )
+    return {
+        "p": entry.tag,
+        "f": {name: encode_value(getattr(payload, name)) for name in entry.fields},
+    }
+
+
+def decode_payload(obj: Dict[str, Any]) -> Any:
+    """Rebuild the registered payload a :func:`encode_payload` dict names."""
+    entry = codec_table().get(obj.get("p", ""))
+    if entry is None:
+        raise WireError(f"unknown payload tag {obj.get('p')!r}")
+    fields = {name: decode_value(value) for name, value in obj["f"].items()}
+    unknown = set(fields) - set(entry.fields)
+    if unknown:
+        raise WireError(
+            f"payload {entry.tag} carries unknown fields {sorted(unknown)}"
+        )
+    return entry.cls(**fields)
+
+
+def encode_message(msg: Message) -> Dict[str, Any]:
+    """Full overlay-message envelope (identity fields + payload)."""
+    return {
+        "kind": msg.kind,
+        "origin": msg.origin,
+        "dest_key": msg.dest_key,
+        "hops": msg.hops,
+        "born": msg.born,
+        "msg_id": msg.msg_id,
+        "root_id": msg.root_id,
+        "tag": msg.tag,
+        "payload": encode_payload(msg.payload),
+    }
+
+
+def decode_message(env: Dict[str, Any]) -> Message:
+    """Inverse of :func:`encode_message`."""
+    return Message(
+        kind=env["kind"],
+        payload=decode_payload(env["payload"]),
+        origin=env["origin"],
+        dest_key=env["dest_key"],
+        hops=env.get("hops", 0),
+        born=env.get("born", 0.0),
+        msg_id=env["msg_id"],
+        root_id=env.get("root_id", -1),
+        tag=env.get("tag", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Length-prefix + version byte + compact JSON body."""
+    body = json.dumps(obj, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    if 1 + len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _LENGTH.pack(1 + len(body)) + bytes([WIRE_VERSION]) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed it whatever the socket produced; it returns every complete
+    frame body as a decoded JSON object and buffers the remainder.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buf.extend(data)
+        out: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buf) < _LENGTH.size:
+                return out
+            (length,) = _LENGTH.unpack_from(self._buf)
+            if length < 1 or length > MAX_FRAME_BYTES:
+                raise WireError(f"bad frame length {length}")
+            if len(self._buf) < _LENGTH.size + length:
+                return out
+            start = _LENGTH.size
+            version = self._buf[start]
+            if version != WIRE_VERSION:
+                raise WireError(
+                    f"wire version {version} != supported {WIRE_VERSION}"
+                )
+            body = bytes(self._buf[start + 1 : start + length])
+            del self._buf[: start + length]
+            obj = json.loads(body.decode("utf-8"))
+            if not isinstance(obj, dict):
+                raise WireError("frame body must be a JSON object")
+            out.append(obj)

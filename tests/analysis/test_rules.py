@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D011)."""
+"""Positive and negative cases for every simlint rule (D001–D012)."""
 
 import textwrap
 
@@ -20,7 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
-        "D009", "D010", "D011",
+        "D009", "D010", "D011", "D012",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -518,3 +518,42 @@ def test_d011_scoped_to_simulated_world(tmp_path):
     assert run_lint(tmp_path, "tests/test_risky.py", source) == []
     findings = run_lint(tmp_path, "sim/engine_ext.py", source)
     assert codes(findings) == ["D011"]
+
+
+# ---------------------------------------------------------------- D012
+def test_d012_flags_network_primitives_outside_net(tmp_path):
+    source = """\
+    import socket
+    import asyncio
+    from threading import Thread
+    """
+    findings = run_lint(tmp_path, "core/roles/rogue.py", source)
+    assert codes(findings) == ["D012", "D012", "D012"]
+
+
+def test_d012_flags_submodule_imports(tmp_path):
+    source = """\
+    import asyncio.streams
+    from socket import AF_INET
+    """
+    findings = run_lint(tmp_path, "sim/engine_ext.py", source)
+    assert codes(findings) == ["D012", "D012"]
+
+
+def test_d012_allows_net_package_and_tests(tmp_path):
+    source = """\
+    import asyncio
+    import socket
+    import threading
+    """
+    assert run_lint(tmp_path, "net/peer.py", source) == []
+    assert run_lint(tmp_path, "src/repro/net/transport.py", source) == []
+    assert run_lint(tmp_path, "tests/net/test_loopback.py", source) == []
+
+
+def test_d012_ignores_unrelated_imports(tmp_path):
+    source = """\
+    import json
+    from collections import deque
+    """
+    assert run_lint(tmp_path, "core/roles/fine.py", source) == []

@@ -50,6 +50,8 @@ def test_parser_lists_all_commands():
         "lint",
         "protocol",
         "flow",
+        "node",
+        "client",
     }
 
 

@@ -26,6 +26,23 @@ from repro.sim import Message, MessageStats, RngRegistry, Simulator
 # ----------------------------------------------------------------------
 # sender state machine (fake app, real simulator)
 # ----------------------------------------------------------------------
+class _FakeTransport:
+    def __init__(self, sim, network):
+        self._sim = sim
+        self._network = network
+
+    @property
+    def now(self):
+        return self._sim.now
+
+    def schedule(self, delay_ms, fn, *args):
+        return self._sim.schedule(delay_ms, fn, *args)
+
+    @property
+    def stats(self):
+        return self._network.stats
+
+
 def make_sender(**cfg_kw):
     defaults = dict(
         reliable_delivery=True,
@@ -37,13 +54,22 @@ def make_sender(**cfg_kw):
     defaults.update(cfg_kw)
     cfg = MiddlewareConfig(**defaults)
     sim = Simulator()
+    network = SimpleNamespace(stats=MessageStats())
     system = SimpleNamespace(
         sim=sim,
-        network=SimpleNamespace(stats=MessageStats()),
+        network=network,
         rngs=RngRegistry(0),
     )
+    # the sender talks to the app through the Transport seam only: a
+    # clock, a timer wheel and the live stats object (a property, so
+    # the reset_stats epoch swap stays observable through the seam)
+    transport = _FakeTransport(sim, network)
     app = SimpleNamespace(
-        cfg=cfg, system=system, node=SimpleNamespace(alive=True), node_id=5
+        cfg=cfg,
+        system=system,
+        transport=transport,
+        node=SimpleNamespace(alive=True),
+        node_id=5,
     )
     return sim, app, ReliableSender(app)
 

@@ -244,12 +244,13 @@ def test_dedup_seen_set_evicts_fifo():
             ),
         )
 
+    sender = system.app(1).node_id
     for delivery_id in (101, 102, 103):
         deliver(delivery_id)
     runtime = client.runtime
-    assert runtime._seen_deliveries == {101, 102, 103}
+    assert runtime._seen_deliveries == {(sender, 101), (sender, 102), (sender, 103)}
     deliver(104)  # over the limit: 101 (oldest) is evicted
-    assert runtime._seen_deliveries == {102, 103, 104}
+    assert runtime._seen_deliveries == {(sender, 102), (sender, 103), (sender, 104)}
     assert len(runtime._seen_order) == len(runtime._seen_deliveries) == 3
     # a replay of the evicted id is no longer recognised as a duplicate
     deliver(101)
@@ -258,6 +259,43 @@ def test_dedup_seen_set_evicts_fifo():
     # a replay of a remembered id still is
     deliver(103)
     assert len(client.similarity_results[103]) == 1
+    assert system.network.stats.duplicates_suppressed[KIND.RESPONSE] == 1
+
+
+def test_dedup_key_includes_origin():
+    """The same delivery id from two origins is two distinct deliveries.
+
+    Delivery ids come from a process-local counter; in the asyncio
+    runtime every node is its own OS process, so different nodes
+    routinely hand out the same bare id.  Only a repeat from the *same*
+    origin is a retransmission.
+    """
+    system = small_system()
+    client = system.app(0)
+
+    def deliver(origin_id, delivery_id):
+        payload = ResponsePush(
+            client_id=client.node_id,
+            query_id=7,
+            similarity=[("s", 0.1)],
+            delivery_id=delivery_id,
+        )
+        client.deliver(
+            client.node,
+            Message(
+                kind=KIND.RESPONSE,
+                payload=payload,
+                origin=origin_id,
+                dest_key=client.node_id,
+            ),
+        )
+
+    deliver(system.app(1).node_id, 55)
+    deliver(system.app(2).node_id, 55)  # same id, different origin
+    assert len(client.similarity_results[7]) == 2
+    assert system.network.stats.duplicates_suppressed[KIND.RESPONSE] == 0
+    deliver(system.app(1).node_id, 55)  # same id, same origin: duplicate
+    assert len(client.similarity_results[7]) == 2
     assert system.network.stats.duplicates_suppressed[KIND.RESPONSE] == 1
 
 
