@@ -37,6 +37,30 @@ BENCH_CONFIG = MiddlewareConfig(batch_size=1)
 SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--vnodes",
+        type=int,
+        default=1,
+        metavar="V",
+        help=(
+            "virtual nodes per physical node for the figure runs "
+            "(DESIGN.md §13).  Values > 1 re-run the affected figures "
+            "fresh at that token multiplicity instead of reading the "
+            "shared v=1 sweep cache."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def vnodes(request) -> int:
+    """The ``--vnodes`` axis: tokens per physical node (§13)."""
+    v = int(request.config.getoption("--vnodes"))
+    if v < 1:
+        raise pytest.UsageError(f"--vnodes must be >= 1, got {v}")
+    return v
+
+
 @pytest.fixture(scope="session")
 def sweep() -> SweepCache:
     """The shared measured-run cache for all figure benches."""

@@ -43,6 +43,7 @@ __all__ = [
     "Violation",
     "InvariantReport",
     "check_ring",
+    "check_physical_ownership",
     "check_index_placement",
     "check_message_conservation",
     "check_delivery_policy",
@@ -218,6 +219,97 @@ def check_ring(
 
 
 # ----------------------------------------------------------------------
+# per-physical ownership (virtual nodes, DESIGN.md §13)
+# ----------------------------------------------------------------------
+def check_physical_ownership(ring: "ChordRing") -> InvariantReport:
+    """Check that per-physical token arcs partition the circle.
+
+    Under virtual nodes a physical node's ownership is the *union* of
+    its tokens' ``(predecessor, self]`` arcs.  Aggregated per physical
+    node, those unions must still partition the identifier circle:
+    every physical node's arc widths sum to a positive share, and the
+    shares of all physical nodes sum to exactly ``2**m``.  Each token
+    must also carry a stable ``physical_name`` and never be counted
+    under two physical nodes (the naming scheme in
+    :mod:`repro.chord.vnodes` guarantees this; the check catches
+    hand-built rings that violate it).  Without virtual nodes every
+    physical group has exactly one token and this reduces to the
+    ownership-partition clause of :func:`check_ring`.
+    """
+    from ..chord.vnodes import VirtualNodeMap
+
+    report = InvariantReport()
+    ids = ring.node_ids
+    n = len(ids)
+    if n == 0:
+        report.checks_run += 1
+        report.violations.append(
+            Violation("ring", "ring", "ring has no live members")
+        )
+        return report
+
+    vmap = VirtualNodeMap()
+    for node in ring:
+        vmap.register(node)
+    size = ring.space.size
+    arc_width = {}
+    for idx, node_id in enumerate(ids):
+        pred_id = ids[(idx - 1) % n]
+        # a single-token ring owns the full circle, not a zero arc
+        width = (node_id - pred_id) % size or size
+        arc_width[node_id] = width
+
+    total = 0
+    for phys in vmap.physical_names():
+        tokens = vmap.tokens_of(phys)
+        report.checks_run += 1
+        live = [t for t in tokens if t in arc_width]
+        if not live:
+            report.violations.append(
+                Violation(
+                    "ring", phys, "physical node has no live tokens on the ring"
+                )
+            )
+            continue
+        share = sum(arc_width[t] for t in live)
+        total += share
+        report.checks_run += 1
+        if not (0 < share <= size):
+            report.violations.append(
+                Violation(
+                    "ring",
+                    phys,
+                    f"aggregated arc share {share} outside (0, {size}]",
+                )
+            )
+        # every live token of this physical group reports the same owner
+        for t in live:
+            report.checks_run += 1
+            owner = ring.node(t).physical_name
+            if owner != phys:
+                report.violations.append(
+                    Violation(
+                        "ring",
+                        f"N{t}",
+                        f"token registered under {phys!r} but carries "
+                        f"physical_name {owner!r}",
+                    )
+                )
+
+    report.checks_run += 1
+    if total != size:
+        report.violations.append(
+            Violation(
+                "ring",
+                "ring",
+                f"per-physical arc shares sum to {total}, expected {size} "
+                "(ownership does not partition the circle)",
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
 # index placement
 # ----------------------------------------------------------------------
 def check_index_placement(
@@ -231,10 +323,22 @@ def check_index_placement(
     invisible to exactly the queries it should answer.  Expired MBRs are
     ignored: soft state left behind by churn is *expected* to be stale
     until BSPAN retires it.
+
+    Under adaptive remapping (DESIGN.md §13) a placement is accepted if
+    it is valid under *any* retained mapping epoch: entries published
+    before a refit legitimately sit where the old epoch routed them
+    until migration or BSPAN expiry moves them on.
     """
     report = InvariantReport()
     now = system.sim.now if now is None else now
     ring = system.ring
+    # every retained epoch's mapper for an adaptive mapper, else just
+    # the one static mapper
+    mappers = (
+        list(system.mapper.mappers())
+        if hasattr(system.mapper, "mappers")
+        else [system.mapper]
+    )
     for app in system.all_apps:
         if not app.node.alive:
             continue
@@ -242,9 +346,15 @@ def check_index_placement(
         for stored in app.index.live_mbrs(now):
             report.checks_run += 1
             vlow, vhigh = stored.mbr.first_coordinate_interval
-            klow, khigh = system.mapper.key_range(vlow, vhigh)
-            covering = ring.nodes_covering_range(klow, khigh)
-            if holder not in covering:
+            placed = False
+            klow = khigh = 0
+            for m in mappers:
+                klow, khigh = m.key_range(vlow, vhigh)
+                if holder in ring.nodes_covering_range(klow, khigh):
+                    placed = True
+                    break
+            if not placed:
+                covering = ring.nodes_covering_range(klow, khigh)
                 names = ", ".join(f"N{c.node_id}" for c in covering)
                 report.violations.append(
                     Violation(
@@ -463,6 +573,7 @@ def check_invariants(
     additionally needs a post-churn anti-entropy round to have drained.
     """
     report = check_ring(system.ring, fingers=fingers)
+    _merge(report, check_physical_ownership(system.ring))
     if index:
         _merge(report, check_index_placement(system))
     if messages:

@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D012).
+"""The simlint rule catalog (D001–D013).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -22,7 +22,10 @@ silent exception swallowing (D011) binds inside the simulated world
 (``sim``/``chord``/``core``) where a dropped error means silently
 corrupted protocol state rather than a visible crash; real-network
 primitive containment (D012) bans ``socket``/``asyncio``/``threading``
-imports everywhere except ``repro/net``, the transport seam's home.
+imports everywhere except ``repro/net``, the transport seam's home;
+mapping-mutation containment (D013) binds inside the simulated world
+outside ``core/mapping.py``/``core/system.py``, the sanctioned remap
+entry points (DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -984,4 +987,85 @@ class NetworkPrimitiveContainmentRule(LintRule):
         module = node.module or ""
         if module.split(".")[0] in self._BANNED_MODULES:
             self._flag(node, module)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D013 — mapping-state mutation outside sanctioned remap entry points
+# ----------------------------------------------------------------------
+@register
+class MappingMutationRule(LintRule):
+    """Remapping happens only through the sanctioned epoch-bump path.
+
+    The adaptive mapping (DESIGN.md §13) is *shared routing state*:
+    every source, client and holder derives keys from ``system.mapper``,
+    and the placement invariant tolerates a stale placement only because
+    each epoch bump flows through ``AdaptiveQuantileMapper.refit``
+    (which retains the superseded epoch) inside
+    ``StreamIndexSystem.run_adaptive_refit`` (which then triggers
+    ``MbrMigrate`` re-placement).  A rogue ``*.refit(...)`` call or a
+    direct write to ``*.mapper`` / ``*._epochs`` / ``*._edges`` anywhere
+    else re-keys the ring with no epoch history and no migration, so
+    already-stored MBRs silently become unreachable to new queries —
+    routing still succeeds, it just lands somewhere the data isn't.
+    Sanctioned homes: :mod:`repro.core.mapping` (the epoch machinery
+    itself) and :mod:`repro.core.system` (mapper construction and the
+    refit round).  Everything else treats the mapper as read-only and
+    requests a remap via ``StreamIndexSystem.run_adaptive_refit``.
+    """
+
+    code = "D013"
+    title = "mapping-state mutation outside sanctioned remap entry points"
+
+    _BANNED_CALL_SUFFIXES = ("refit",)
+    _BANNED_TARGET_SUFFIXES = ("mapper", "_epochs", "_edges")
+    _SANCTIONED = ("core/mapping.py", "core/system.py")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        if is_test_path(path):
+            return False
+        if not _in_packages(path, ("sim", "chord", "core")):
+            return False
+        normalized = "/".join(_parts(path))
+        return not any(normalized.endswith(s) for s in cls._SANCTIONED)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            for suffix in self._BANNED_CALL_SUFFIXES:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    self.report(
+                        node,
+                        f"direct remap `{dotted}(...)` bypasses epoch "
+                        "bookkeeping and migration; request remaps via "
+                        "StreamIndexSystem.run_adaptive_refit",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _check_target(self, node: ast.AST, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        dotted = _dotted_name(target)
+        if dotted is None:
+            return
+        for suffix in self._BANNED_TARGET_SUFFIXES:
+            if dotted.endswith("." + suffix):
+                self.report(
+                    node,
+                    f"write to mapping state `{dotted}` outside the "
+                    "sanctioned remap entry points (core/mapping.py, "
+                    "core/system.py); the mapper is read-only shared "
+                    "routing state everywhere else",
+                )
+                return
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(node, target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node, node.target)
         self.generic_visit(node)

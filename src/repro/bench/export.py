@@ -75,6 +75,7 @@ def run_to_csv(path: PathLike, run) -> Path:
             "latency_ms",
             "reliability",
             "replication",
+            "load_balance",
         ):
             for metric, value in summary[section].items():
                 writer.writerow([section, metric, value])
@@ -111,6 +112,10 @@ def stats_to_csv_string(stats) -> str:
         ("read_repairs", stats.read_repairs),
         ("handoffs_enqueued", stats.handoffs_enqueued),
         ("handoffs_drained", stats.handoffs_drained),
+        ("publishes_shed", stats.publishes_shed),
+        ("backpressure_signals", stats.backpressure_signals),
+        ("source_throttles", stats.source_throttles),
+        ("mbrs_migrated", stats.mbrs_migrated),
     ]
     for name, counter in counters:
         for key in sorted(counter, key=repr):

@@ -14,8 +14,9 @@ from .hashing import node_identifier, sha1_identifier, stream_identifier
 from .idspace import IdSpace, circular_distance, in_half_open_interval, in_open_interval
 from .node import ChordNode
 from .ring import ChordRing, RingError
-from .routing import LookupError_, find_successor, lookup_path
+from .routing import LookupError_, find_successor, lookup_path, physical_hops
 from .stabilize import Stabilizer
+from .vnodes import VirtualNodeMap, vnode_names
 
 __all__ = [
     "ArcStats",
@@ -37,5 +38,8 @@ __all__ = [
     "LookupError_",
     "find_successor",
     "lookup_path",
+    "physical_hops",
     "Stabilizer",
+    "VirtualNodeMap",
+    "vnode_names",
 ]

@@ -40,6 +40,13 @@ class ChordNode:
     alive:
         Cleared when the node crashes or leaves; dead nodes neither
         route nor deliver.
+    physical_name:
+        The physical data center this identifier belongs to.  Under
+        virtual nodes (DESIGN.md §13) several ring identifiers — tokens
+        — share one ``physical_name``; without them it simply equals
+        ``name``.  Protocol state never consults it: tokens route and
+        own keys as fully independent Chord participants, and only
+        load accounting and the invariant checker aggregate by it.
     """
 
     __slots__ = (
@@ -51,13 +58,21 @@ class ChordNode:
         "predecessor",
         "successor_list",
         "alive",
+        "physical_name",
         "_nh_cache",
         "_nh_epoch",
     )
 
-    def __init__(self, name: str, node_id: int, space: IdSpace) -> None:
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        space: IdSpace,
+        physical_name: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.node_id = int(node_id) % space.size
+        self.physical_name = physical_name if physical_name is not None else name
         self.space = space
         self.fingers: List[Optional["ChordNode"]] = [None] * space.m
         self.successor: Optional["ChordNode"] = None

@@ -7,6 +7,22 @@ experiments), and answers ground-truth questions — "which node owns key
 ``k``?", "which nodes cover key range ``[a, b]``?" — that the tests and
 the range-multicast logic validate against.
 
+The paper (Sec. III) treats the DHT as a black box providing consistent
+hashing of keys to nodes; this module is the membership half of that
+contract.  :meth:`ChordRing.successor_of_key` is the ground truth the
+paper's ``route(key)`` primitive must agree with, and
+:meth:`ChordRing.nodes_covering_range` is the exact replica set of a
+Sec. IV-C range multicast over key interval ``[low, high]``.
+
+Two extensions beyond the paper live here.  Identifier collisions —
+possible at the small ``m`` used in tests — are resolved by re-salting
+names (the paper assumes ``m = 160`` SHA-1 ids where collisions are
+negligible).  And :meth:`ChordRing.create_virtual_nodes` places ``v``
+tokens per physical node (DESIGN.md §13): each token is an ordinary
+:class:`~repro.chord.node.ChordNode`, so everything else in this module
+is token-agnostic — per-physical aggregation happens strictly above the
+ring, in :class:`~repro.chord.vnodes.VirtualNodeMap`.
+
 Dynamic membership (join / leave / fail with stabilization) lives in
 :mod:`repro.chord.stabilize`; after churn settles, :meth:`ChordRing
 .build` describes the state stabilization converges to.
@@ -20,6 +36,7 @@ from typing import Dict, Iterator, List, Optional
 from .hashing import node_identifier
 from .idspace import IdSpace
 from .node import ChordNode
+from .vnodes import vnode_names
 
 __all__ = ["ChordRing", "RingError"]
 
@@ -68,21 +85,40 @@ class ChordRing:
         """
         return self._by_id[node_id]
 
-    def create_node(self, name: str) -> ChordNode:
+    def create_node(
+        self, name: str, physical_name: Optional[str] = None
+    ) -> ChordNode:
         """Hash ``name`` to an identifier and add a new node.
 
         Identifier collisions (possible for small ``m``) are resolved by
         re-salting the name, preserving consistent hashing semantics for
-        all non-colliding nodes.
+        all non-colliding nodes.  ``physical_name`` tags the node with
+        the physical data center it belongs to (defaults to ``name``);
+        see :meth:`create_virtual_nodes`.
         """
         salt = 0
         node_id = node_identifier(name, self.space)
         while node_id in self._by_id:
             salt += 1
             node_id = node_identifier(f"{name}#{salt}", self.space)
-        node = ChordNode(name, node_id, self.space)
+        node = ChordNode(name, node_id, self.space, physical_name=physical_name)
         self.add(node)
         return node
+
+    def create_virtual_nodes(self, name: str, v: int) -> List[ChordNode]:
+        """Create ``v`` tokens for physical node ``name`` (DESIGN.md §13).
+
+        Each token is a full ring member created through
+        :meth:`create_node` with a derived token name and
+        ``physical_name=name``.  At ``v == 1`` the single token is
+        named ``name`` itself, so the identifier — and therefore every
+        downstream hash-derived decision — is byte-identical to a
+        build without virtual nodes.
+        """
+        return [
+            self.create_node(token, physical_name=name)
+            for token in vnode_names(name, v)
+        ]
 
     def add(self, node: ChordNode) -> None:
         """Register a live node as a ring member."""

@@ -13,6 +13,22 @@ Stabilization control traffic is *not* charged to the message statistics:
 the paper's load figures count only application (MBR/query/response)
 messages, with overlay maintenance considered part of the Chord
 substrate.
+
+Two layers piggyback on the maintenance tick via the :attr:`Stabilizer
+.on_round` hook (``None`` by default, keeping the tick byte-identical
+to a build without them): the §10 replication layer's anti-entropy /
+hinted-handoff repair, and the §13 adaptive-mapping layer's key-density
+histogram reports — both are *soft-state* protocols in the paper's
+spirit (Sec. V: state is periodically re-asserted rather than
+transactionally maintained), so a lost round costs freshness, never
+correctness.
+
+Under virtual nodes (DESIGN.md §13) every token maintains itself
+independently — the protocol below is unchanged — and
+:meth:`Stabilizer.join_physical` / :meth:`Stabilizer.fail_physical`
+are the membership operations that keep a physical node's ``v`` tokens
+joining and failing as one unit, which is the failure model that
+matches reality (a data center crashes with all its tokens).
 """
 
 from __future__ import annotations
@@ -87,6 +103,31 @@ class Stabilizer:
         node.alive = True
         self.ring.add(node)
         self.start_maintenance(node)
+
+    def join_physical(
+        self, nodes: List[ChordNode], bootstrap: ChordNode
+    ) -> None:
+        """Join all tokens of one physical node (DESIGN.md §13).
+
+        Tokens join sequentially through the same bootstrap; each is an
+        independent Chord join, so the ring never observes anything but
+        ordinary single-node joins.  At ``v == 1`` this degenerates to
+        exactly one :meth:`join` call.
+        """
+        for node in nodes:
+            self.join(node, bootstrap)
+
+    def fail_physical(self, nodes: List[ChordNode]) -> None:
+        """Crash-fail all tokens of one physical node at once.
+
+        A physical data center crashing takes every one of its ring
+        identifiers down in the same instant — failing tokens
+        one-per-tick would understate the correlated-failure stress on
+        successor lists.
+        """
+        for node in nodes:
+            if node.alive:
+                self.fail(node)
 
     def leave(self, node: ChordNode) -> None:
         """Graceful departure: hand pointers over, then vanish."""

@@ -113,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
         "ceil((R+1)/2) agreeing replicas with read repair",
     )
     lossy.add_argument(
+        "--vnodes", type=int, default=1, metavar="V",
+        help="ring tokens (virtual nodes) per physical data center "
+        "(1 disables; DESIGN.md §13)",
+    )
+    lossy.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive quantile remapping: refit the key map to observed "
+        "key density on stabilization rounds and migrate stale MBRs",
+    )
+    lossy.add_argument(
+        "--shed", type=float, default=0.0, metavar="RATE",
+        help="admission control: per-holder token-bucket publish budget "
+        "in MBRs/s (0 disables; sheds answer with LoadShed/Backpressure)",
+    )
+    lossy.add_argument(
         "--check-invariants",
         action="store_true",
         help="after the run, stabilize the ring and verify the ring / "
@@ -533,6 +549,10 @@ def cmd_lossy(args, out) -> int:
         duplicate_rate=args.duplicate,
         replication_factor=args.replication,
         consistency=args.consistency,
+        virtual_nodes=args.vnodes,
+        adaptive_mapping=args.adaptive,
+        admission_control=args.shed > 0,
+        admission_rate_per_s=args.shed if args.shed > 0 else 20.0,
         workload=WorkloadConfig(qrate_per_s=0.0),
     )
     system = StreamIndexSystem(
@@ -583,6 +603,34 @@ def cmd_lossy(args, out) -> int:
         rows.append([f"drops [{reason}]", count])
     if churn is not None:
         rows.append(["failures / joins", f"{churn.failures} / {churn.joins}"])
+    if args.vnodes > 1:
+        rows.extend(
+            [
+                ["tokens / physical nodes", (
+                    f"{len(system.ring)} / {system.n_physical}"
+                )],
+                ["load skew (max/mean, physical)", (
+                    f"{system.load_skew_ratio():.3f}"
+                )],
+            ]
+        )
+    if args.adaptive:
+        rows.extend(
+            [
+                ["mapping epoch", system.mapper.epoch],
+                ["MBRs migrated", sum(stats.mbrs_migrated.values())],
+            ]
+        )
+    if args.shed > 0:
+        rows.extend(
+            [
+                ["publishes shed", sum(stats.publishes_shed.values())],
+                ["backpressure advisories", sum(
+                    stats.backpressure_signals.values()
+                )],
+                ["source throttles", sum(stats.source_throttles.values())],
+            ]
+        )
     if args.replication > 1:
         rows.extend(
             [
@@ -604,6 +652,7 @@ def cmd_lossy(args, out) -> int:
             f"Lossy network (N={args.nodes}, loss={args.loss}, "
             f"dup={args.duplicate}, churn={args.churn}/s, "
             f"r={args.replication}/{args.consistency}, "
+            f"v={args.vnodes}, "
             f"{args.duration:.0f}s)",
             ["metric", "value"],
             rows,

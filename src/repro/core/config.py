@@ -155,6 +155,34 @@ class MiddlewareConfig:
         (bucketed calendar queue).  Both produce the identical event
         order, so results never depend on this knob — only wall-clock
         does (see PERFORMANCE.md).
+    virtual_nodes:
+        ``v``: ring identifiers (tokens) owned by every physical data
+        center (DESIGN.md §13).  Each token is a full Chord node with
+        its own successor/finger state, so a physical node's share of
+        the key circle is the union of ``v`` independent arcs — the
+        classic virtual-node answer to hash-placement skew.  The
+        default of 1 keeps the subsystem fully inert: node ids, event
+        order and stats stay byte-identical to a build without it.
+    adaptive_mapping:
+        Enable the §13 online quantile re-fitter: index holders report
+        key-density histograms on stabilization rounds and the system
+        periodically re-fits the value→key mapping to equalize observed
+        key mass, bumping an epoch counter so in-flight routes resolve
+        against the mapping they were issued under.  Hot placements are
+        then migrated off overloaded holders via ``MbrMigrate``.
+    adaptive_refit_interval_rounds / adaptive_histogram_bins:
+        Stabilization rounds between re-fits, and resolution of the
+        per-holder key-density histograms feeding them.
+    admission_control:
+        Enable per-holder token-bucket admission control: MBR publishes
+        beyond the bucket rate are shed (``LoadShed`` back to the
+        source, which re-publishes after a throttle interval) and a
+        rate-limited ``Backpressure`` advisory slows the source's
+        publish cadence.  Reliability is unaffected — sheds happen
+        after the delivery ack, so ``eventual_delivery_ratio`` stays 1.
+    admission_rate_per_s / admission_burst:
+        Token-bucket refill rate (MBR publishes per second a holder
+        accepts sustained) and bucket depth (burst tolerance).
     workload:
         The Table I parameters.
     """
@@ -189,6 +217,13 @@ class MiddlewareConfig:
     duplicate_rate: float = 0.0
     delay_jitter_ms: float = 0.0
     scheduler: str = "heap"
+    virtual_nodes: int = 1
+    adaptive_mapping: bool = False
+    adaptive_refit_interval_rounds: int = 8
+    adaptive_histogram_bins: int = 64
+    admission_control: bool = False
+    admission_rate_per_s: float = 20.0
+    admission_burst: float = 10.0
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
     def __post_init__(self) -> None:
@@ -232,6 +267,16 @@ class MiddlewareConfig:
             raise ValueError("delay_jitter_ms must be non-negative")
         if self.scheduler not in ("heap", "calendar"):
             raise ValueError(f"unknown scheduler backend {self.scheduler!r}")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.adaptive_refit_interval_rounds < 1:
+            raise ValueError("adaptive_refit_interval_rounds must be >= 1")
+        if self.adaptive_histogram_bins < 2:
+            raise ValueError("adaptive_histogram_bins must be >= 2")
+        if self.admission_rate_per_s <= 0:
+            raise ValueError("admission_rate_per_s must be positive")
+        if self.admission_burst < 1:
+            raise ValueError("admission_burst must be >= 1")
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A modified copy (convenience over :func:`dataclasses.replace`)."""

@@ -48,10 +48,17 @@ __all__ = ["StoredMBR", "StoredSimilaritySub", "StoredInnerProductSub", "LocalIn
 
 @dataclass
 class StoredMBR:
-    """An MBR held by a data center until ``expires``."""
+    """An MBR held by a data center until ``expires``.
+
+    ``source_id`` remembers the publishing node so a later adaptive
+    migration (DESIGN.md §13) can keep replication ownership attributed
+    to the stream's source; ``-1`` for entries installed through paths
+    that don't carry it.
+    """
 
     mbr: MBR
     expires: float
+    source_id: int = -1
 
 
 @dataclass
@@ -93,10 +100,34 @@ class LocalIndex:
     # ------------------------------------------------------------------
     # MBR store
     # ------------------------------------------------------------------
-    def add_mbr(self, mbr: MBR, expires: float) -> None:
+    def add_mbr(self, mbr: MBR, expires: float, source_id: int = -1) -> None:
         """Store a summary MBR until its lifespan ends."""
-        self._mbrs.setdefault(mbr.stream_id, []).append(StoredMBR(mbr, expires))
+        self._mbrs.setdefault(mbr.stream_id, []).append(
+            StoredMBR(mbr, expires, source_id)
+        )
         self._stack = None
+
+    def take_mbrs(self, predicate) -> List[StoredMBR]:
+        """Remove and return stored MBRs matching ``predicate(entry)``.
+
+        Used by adaptive remapping (DESIGN.md §13): after a quantile
+        refit, entries whose key range moved off this holder's arc are
+        taken out of the store and re-disseminated as ``MbrMigrate``
+        payloads toward their new holders.  Entries the predicate
+        rejects stay untouched; the block layout is invalidated only
+        when something was actually removed.
+        """
+        taken: List[StoredMBR] = []
+        for sid in list(self._mbrs):
+            kept = [e for e in self._mbrs[sid] if not predicate(e)]
+            if len(kept) != len(self._mbrs[sid]):
+                taken.extend(e for e in self._mbrs[sid] if predicate(e))
+                self._stack = None
+                if kept:
+                    self._mbrs[sid] = kept
+                else:
+                    del self._mbrs[sid]
+        return taken
 
     def mbr_count(self, now: Optional[float] = None) -> int:
         """Number of stored (live, if ``now`` given) MBRs."""

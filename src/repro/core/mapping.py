@@ -15,17 +15,38 @@ The paper assumes the feature value is uniformly distributed and leaves
 future work; :class:`QuantileKeyMapper` implements that extension — an
 equi-depth mapping built from a sample of observed feature values, which
 restores uniform load when the value distribution is skewed.
+
+:class:`AdaptiveQuantileMapper` closes the loop *online* (DESIGN.md
+§13): index holders histogram the routing coordinates they actually
+receive, the histograms are merged on stabilization rounds, and
+:meth:`AdaptiveQuantileMapper.refit` periodically rebuilds the
+equi-depth mapping from the merged density.  Every refit bumps an
+**epoch**; a bounded window of past epochs stays resolvable
+(:meth:`AdaptiveQuantileMapper.mapper_at`) so anything placed or routed
+under an older epoch — in-flight publishes carry their keys, stored
+MBRs carry their placement — can still be interpreted while migration
+(``MbrMigrate``) moves stale placements to their new-epoch owners.
+Monotonicity is preserved at every epoch, so range queries always
+translate to contiguous key ranges and the paper's no-false-dismissal
+guarantee (Sec. IV-D) is unaffected by remapping.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..chord.idspace import IdSpace
 
-__all__ = ["LinearKeyMapper", "QuantileKeyMapper", "paper_example_key"]
+__all__ = [
+    "LinearKeyMapper",
+    "QuantileKeyMapper",
+    "KeyDensityHistogram",
+    "AdaptiveQuantileMapper",
+    "paper_example_key",
+]
 
 
 class LinearKeyMapper:
@@ -100,6 +121,25 @@ class QuantileKeyMapper:
         self._edges = np.maximum.accumulate(self._edges)
         self._n_bins = n_bins
 
+    @classmethod
+    def from_edges(
+        cls, space: IdSpace, edges: Sequence[float]
+    ) -> "QuantileKeyMapper":
+        """Build a mapper directly from precomputed quantile edges.
+
+        ``edges[i]`` is the value whose CDF is ``i / (len(edges) - 1)``;
+        the online re-fitter derives them from merged key-density
+        histograms instead of a raw value sample.
+        """
+        arr = np.asarray(edges, dtype=np.float64)
+        if arr.size < 3:
+            raise ValueError("need at least 3 edge values")
+        mapper = cls.__new__(cls)
+        mapper.space = space
+        mapper._edges = np.maximum.accumulate(arr)
+        mapper._n_bins = arr.size - 1
+        return mapper
+
     def key_of(self, value: float) -> int:
         """The Chord key of one feature value under the empirical CDF."""
         v = float(value)
@@ -118,6 +158,173 @@ class QuantileKeyMapper:
         if low_value > high_value:
             raise ValueError(f"need low <= high, got [{low_value}, {high_value}]")
         return self.key_of(low_value), self.key_of(high_value)
+
+
+class KeyDensityHistogram:
+    """Per-holder histogram of observed routing coordinates (§13).
+
+    Each index holder bins the first-coordinate midpoints of the MBRs
+    content routing delivers to it; on stabilization rounds the bins
+    are drained into the system-wide density estimate that feeds
+    :meth:`AdaptiveQuantileMapper.refit`.  Deliberately tiny — a fixed
+    ``bins``-cell count array over ``[vmin, vmax]`` — so the report
+    piggybacking on the (uncharged) stabilization round stays O(bins).
+    """
+
+    def __init__(self, bins: int, vmin: float = -1.0, vmax: float = 1.0) -> None:
+        if bins < 2:
+            raise ValueError("need at least 2 bins")
+        if vmax <= vmin:
+            raise ValueError(f"need vmax > vmin, got [{vmin}, {vmax}]")
+        self.bins = bins
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.counts = np.zeros(bins, dtype=np.float64)
+        self.total = 0
+
+    def observe(self, value: float) -> None:
+        """Record one routing coordinate (clamped into ``[vmin, vmax]``)."""
+        v = min(max(float(value), self.vmin), self.vmax)
+        frac = (v - self.vmin) / (self.vmax - self.vmin)
+        idx = min(int(frac * self.bins), self.bins - 1)
+        self.counts[idx] += 1.0
+        self.total += 1
+
+    def drain(self) -> np.ndarray:
+        """Return and reset the accumulated counts (one report)."""
+        out = self.counts
+        self.counts = np.zeros(self.bins, dtype=np.float64)
+        self.total = 0
+        return out
+
+
+class AdaptiveQuantileMapper:
+    """Epoch-versioned online quantile re-fitter (DESIGN.md §13).
+
+    Epoch 0 is exactly the paper's Eq. 6 linear map, so an adaptive
+    system behaves identically to a static one until the first refit.
+    :meth:`refit` consumes a merged key-density histogram, inverts its
+    CDF into equi-depth quantile edges, and installs the resulting
+    :class:`QuantileKeyMapper` as a *new epoch* — the previous
+    ``history`` epochs stay resolvable through :meth:`mapper_at` so
+    state placed under them (in-flight publishes, not-yet-migrated
+    MBRs) can still be checked against the mapping it was routed by.
+
+    The un-suffixed ``key_of`` / ``key_range`` / ``value_of`` methods
+    delegate to the current epoch, making this a drop-in
+    ``system.mapper``: sources and clients always route under the
+    newest mapping, and the keys they embed in payloads keep every
+    in-flight message self-consistent across a concurrent epoch bump.
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        *,
+        bins: int = 64,
+        vmin: float = -1.0,
+        vmax: float = 1.0,
+        history: int = 4,
+        smoothing: float = 1.0,
+    ) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.space = space
+        self.bins = bins
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.history = history
+        #: Laplace-style mass added to every bin before inverting the
+        #: CDF: keeps never-observed value regions mapped to non-empty
+        #: key intervals (a query there must still route somewhere).
+        self.smoothing = float(smoothing)
+        self.epoch = 0
+        self._epochs: "OrderedDict[int, object]" = OrderedDict(
+            {0: LinearKeyMapper(space, vmin, vmax)}
+        )
+
+    # ------------------------------------------------------------------
+    # epoch access
+    # ------------------------------------------------------------------
+    @property
+    def current(self):
+        """The mapper of the newest epoch."""
+        return self._epochs[self.epoch]
+
+    def mapper_at(self, epoch: int):
+        """The mapper of a (retained) past epoch.
+
+        Epochs older than the retained window resolve to the oldest
+        retained mapper — by then migration has re-placed their state,
+        so the approximation only ever affects diagnostics.
+        """
+        if epoch in self._epochs:
+            return self._epochs[epoch]
+        oldest = next(iter(self._epochs))
+        return self._epochs[oldest]
+
+    def mappers(self) -> List:
+        """All retained epoch mappers, oldest first (for placement checks)."""
+        return list(self._epochs.values())
+
+    # ------------------------------------------------------------------
+    # refitting
+    # ------------------------------------------------------------------
+    def refit(self, counts: Sequence[float]) -> int:
+        """Install a new epoch fitted to a merged density histogram.
+
+        ``counts[i]`` is the observed mass of value bin ``i`` over
+        ``[vmin, vmax]``.  The inverse of the (smoothed) empirical CDF,
+        evaluated at uniform quantiles, becomes the new equi-depth edge
+        set: key space is divided so each node-sized key interval
+        receives roughly equal observed mass.  Returns the new epoch.
+        """
+        arr = np.asarray(counts, dtype=np.float64)
+        if arr.size != self.bins:
+            raise ValueError(f"expected {self.bins} bins, got {arr.size}")
+        if np.any(arr < 0):
+            raise ValueError("histogram counts must be non-negative")
+        arr = arr + self.smoothing
+        cdf = np.concatenate(([0.0], np.cumsum(arr)))
+        cdf /= cdf[-1]
+        value_edges = np.linspace(self.vmin, self.vmax, self.bins + 1)
+        qs = np.linspace(0.0, 1.0, self.bins + 1)
+        edges = np.interp(qs, cdf, value_edges)
+        mapper = QuantileKeyMapper.from_edges(self.space, edges)
+        self.epoch += 1
+        self._epochs[self.epoch] = mapper
+        while len(self._epochs) > self.history:
+            self._epochs.popitem(last=False)
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    # drop-in mapper interface (delegates to the current epoch)
+    # ------------------------------------------------------------------
+    def key_of(self, value: float, epoch: Optional[int] = None) -> int:
+        """The Chord key of a feature value (under ``epoch`` if given)."""
+        mapper = self.current if epoch is None else self.mapper_at(epoch)
+        return mapper.key_of(value)
+
+    def key_range(
+        self,
+        low_value: float,
+        high_value: float,
+        epoch: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Keys of a value interval (under ``epoch`` if given)."""
+        mapper = self.current if epoch is None else self.mapper_at(epoch)
+        return mapper.key_range(low_value, high_value)
+
+    def value_of(self, key: int) -> float:
+        """Approximate inverse under the current epoch (where available)."""
+        mapper = self.current
+        if hasattr(mapper, "value_of"):
+            return mapper.value_of(key)
+        # QuantileKeyMapper epochs: invert the edge interpolation.
+        key %= self.space.size
+        frac = key / self.space.size
+        edges = mapper._edges
+        return float(np.interp(frac, np.linspace(0.0, 1.0, len(edges)), edges))
 
 
 def paper_example_key(value: float = 0.40, m: int = 5) -> int:

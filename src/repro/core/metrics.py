@@ -190,6 +190,29 @@ class FigureMetrics:
             "read_repairs": float(sum(s.read_repairs.values())),
         }
 
+    def load_balance_summary(self) -> Dict[str, float]:
+        """Load-balancing-plane counters (DESIGN.md §13).
+
+        All 0 with ``virtual_nodes=1``, ``adaptive_mapping=False`` and
+        ``admission_control=False``.  ``max_mean_load_ratio`` is the §13
+        skew metric over the *token* load map (per-physical aggregation
+        needs the system's :class:`~repro.chord.vnodes.VirtualNodeMap`
+        and is reported by ``StreamIndexSystem.load_skew_ratio``).
+        """
+        s = self.stats
+        per_node = s.load_by_node()
+        mean = (sum(per_node.values()) / len(per_node)) if per_node else 0.0
+        ratio = (max(per_node.values()) / mean) if mean > 0 else 0.0
+        return {
+            "publishes_shed": float(sum(s.publishes_shed.values())),
+            "shed_notices": float(s.sends_by_kind.get("shed", 0)),
+            "backpressure_signals": float(sum(s.backpressure_signals.values())),
+            "source_throttles": float(sum(s.source_throttles.values())),
+            "mbrs_migrated": float(sum(s.mbrs_migrated.values())),
+            "migrate_sends": float(s.sends_by_kind.get("migrate", 0)),
+            "max_mean_load_ratio": float(ratio),
+        }
+
     def drop_reasons(self) -> Dict[str, int]:
         """Total drops by reason (loss, link_loss, outage, dead_dest)."""
         return dict(self.stats.drops_by_reason())
@@ -205,4 +228,5 @@ class FigureMetrics:
             "total_load": self.total_load(),
             "reliability": self.reliability_summary(),
             "replication": self.replication_summary(),
+            "load_balance": self.load_balance_summary(),
         }

@@ -56,6 +56,9 @@ __all__ = [
     "ReplicaAck",
     "ReplicaDigestPull",
     "HintedHandoff",
+    "MbrMigrate",
+    "LoadShed",
+    "Backpressure",
     "Ack",
     "next_delivery_id",
 ]
@@ -109,6 +112,12 @@ class KIND:
     read-repair digests and ``HANDOFF`` / ``HANDOFF_TRANSIT`` for
     hinted handoff.  None of these are emitted at ``replication_factor
     = 1``.
+
+    The load-balancing subsystem (DESIGN.md §13) adds ``MIGRATE`` /
+    ``MIGRATE_SPAN`` / ``MIGRATE_TRANSIT`` for adaptive-remapping MBR
+    migration, and ``SHED`` / ``BACKPRESSURE`` (with their transit
+    kinds) for admission control's source signaling.  None are emitted
+    unless ``adaptive_mapping`` / ``admission_control`` is enabled.
     """
 
     MBR = "mbr"
@@ -134,6 +143,13 @@ class KIND:
     REPLICA_PULL = "replica_pull"
     HANDOFF = "handoff"
     HANDOFF_TRANSIT = "handoff_transit"
+    MIGRATE = "migrate"
+    MIGRATE_SPAN = "migrate_span"
+    MIGRATE_TRANSIT = "migrate_transit"
+    SHED = "shed"
+    SHED_TRANSIT = "shed_transit"
+    BACKPRESSURE = "backpressure"
+    BACKPRESSURE_TRANSIT = "backpressure_transit"
 
 
 KNOWN_KINDS = frozenset(
@@ -654,6 +670,89 @@ class HintedHandoff:
     low_key: int
     high_key: int
     expires_ms: float
+    delivery_id: int = -1
+
+
+@payload(
+    kind=KIND.MIGRATE,
+    dedup=True,
+    ack_on_delivery=True,
+    ack_kinds=(KIND.MIGRATE,),
+    senders=("index-holder",),
+)
+@dataclass
+class MbrMigrate:
+    """A stored MBR moving to its new-epoch owners (DESIGN.md §13).
+
+    After an adaptive-mapping refit, a holder whose arc no longer
+    intersects an MBR's re-computed key range re-disseminates the entry
+    over ``[low_key, high_key]`` *under the new epoch* and drops its
+    local copy — the receive side installs it exactly like a fresh
+    :class:`MbrPublish` (store, continue span, re-replicate), so
+    queries routed under the new mapping find the summary where they
+    look.  ``epoch`` records the mapping version the keys were computed
+    under; ``source_id`` is preserved from the original publish so
+    replication ownership stays attributed to the stream's source.
+    """
+
+    mbr: MBR
+    source_id: int
+    low_key: int
+    high_key: int
+    lifespan_ms: float
+    epoch: int
+    delivery_id: int = -1
+
+
+@payload(
+    kind=KIND.SHED,
+    dedup=True,
+    senders=("index-holder",),
+)
+@dataclass
+class LoadShed:
+    """A holder telling a source it shed one MBR publish (§13).
+
+    Sent when admission control's token bucket is empty: the publish
+    was *delivered* (and acked — reliability accounting is unaffected)
+    but not stored.  The source re-publishes the shed MBR after its
+    throttle interval, so the summary is delayed, never lost, while the
+    holder sheds load at the rate the bucket allows.  Not individually
+    acked: a lost shed notice at worst delays the re-publish until the
+    source's soft-state refresh re-asserts the MBR.
+    """
+
+    holder_id: int
+    source_id: int
+    stream_id: str
+    #: absolute expiry of the shed MBR so the re-publish keeps the
+    #: original BSPAN lease rather than extending it
+    expires_ms: float
+    delivery_id: int = -1
+
+
+@payload(
+    kind=KIND.BACKPRESSURE,
+    dedup=True,
+    senders=("index-holder",),
+)
+@dataclass
+class Backpressure:
+    """A rate advisory from an overloaded holder to a source (§13).
+
+    Emitted at most once per holder advisory interval; the receiving
+    source stretches its publish cadence (multiplicative slow-down,
+    decayed back over time), the queue-based load-leveling half of the
+    admission-control contract: sheds bound the holder's intake, while
+    backpressure moves the queueing to the edge where the data is
+    produced.  Advisory soft state — losing one costs nothing.
+    """
+
+    holder_id: int
+    source_id: int
+    #: minimum ms the source should wait before its next publish to
+    #: this holder's key region
+    slow_down_ms: float
     delivery_id: int = -1
 
 

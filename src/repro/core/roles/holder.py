@@ -16,13 +16,18 @@ from __future__ import annotations
 from typing import Dict
 
 from ...sim.network import Message
+from ..admission import AdmissionController
 from ..index import LocalIndex
+from ..mapping import KeyDensityHistogram
 from ..protocol import (
     KIND,
+    Backpressure,
     HierarchyQuery,
     HintedHandoff,
     InnerProductSubscribe,
+    LoadShed,
     LocateRequest,
+    MbrMigrate,
     MbrPublish,
     RegisterStream,
     ReplicaAck,
@@ -50,6 +55,16 @@ class IndexHolderService(RoleService):
         #: successor-list replica sets (DESIGN.md §10); fully inert —
         #: no messages, events or counters — at replication_factor 1
         self.replication = ReplicationManager(self)
+        #: token-bucket publish gate (DESIGN.md §13); every call is a
+        #: no-op returning True while admission_control is off
+        self.admission = AdmissionController(
+            self.cfg.admission_rate_per_s,
+            self.cfg.admission_burst,
+            enabled=self.cfg.admission_control,
+        )
+        #: first-coordinate density seen by this holder between refits,
+        #: drained by the system's adaptive round (DESIGN.md §13)
+        self.key_density = KeyDensityHistogram(self.cfg.adaptive_histogram_bins)
 
     # ------------------------------------------------------------------
     # message handlers
@@ -63,8 +78,22 @@ class IndexHolderService(RoleService):
         ``lifespan_ms`` (BSPAN soft state), and — when its first-
         coordinate interval spans several arcs — the range multicast is
         continued toward the remaining covering nodes.
+
+        Two §13 hooks run first, both inert at default config: the
+        admission gate (shed instead of store when the token bucket is
+        empty) and the key-density observation feeding adaptive
+        quantile refits.
         """
-        self.index.add_mbr(payload.mbr, expires=self.transport.now + payload.lifespan_ms)
+        if not self._admit_mbr(message, payload):
+            return
+        if self.cfg.adaptive_mapping:
+            vlow, vhigh = payload.mbr.first_coordinate_interval
+            self.key_density.observe((vlow + vhigh) / 2.0)
+        self.index.add_mbr(
+            payload.mbr,
+            expires=self.transport.now + payload.lifespan_ms,
+            source_id=payload.source_id,
+        )
         if (
             self.system.hierarchy_index is not None
             and message.kind == KIND.MBR  # primary delivery, not a span copy
@@ -89,6 +118,87 @@ class IndexHolderService(RoleService):
             low_key=payload.low_key,
             high_key=payload.high_key,
             expires=self.transport.now + payload.lifespan_ms,
+        )
+
+    def _admit_mbr(self, message: Message, payload: MbrPublish) -> bool:
+        """Token-bucket gate over arriving publishes (DESIGN.md §13).
+
+        Runs *after* the runtime acked the delivery, so reliability
+        accounting is untouched; a shed publish is simply not indexed
+        and its span is not continued.  Only the primary delivery
+        answers the source with a :class:`LoadShed` notice (plus an
+        occasional :class:`Backpressure` advisory) — span copies shed
+        silently, and the source's soft-state refresh re-offers them.
+        Both notices ride the overlay as raw routed messages rather
+        than reliable sends: they are advisory soft state, and losing
+        one merely delays a re-publish until the next refresh tick.
+        """
+        now = self.transport.now
+        if self.admission.admit(now):
+            return True
+        self._stats.record_publish_shed(message.kind)
+        if message.kind == KIND.MBR:
+            shed = LoadShed(
+                holder_id=self.node_id,
+                source_id=payload.source_id,
+                stream_id=payload.mbr.stream_id,
+                expires_ms=now + payload.lifespan_ms,
+                delivery_id=next_delivery_id(),
+            )
+            self._stats.record_origination(KIND.SHED)
+            msg = Message(
+                kind=KIND.SHED,
+                payload=shed,
+                origin=self.node_id,
+                dest_key=payload.source_id,
+            )
+            self.transport.route(self.node, msg, transit_kind=KIND.SHED_TRANSIT)
+            if self.admission.should_advise(str(payload.source_id), now):
+                advisory = Backpressure(
+                    holder_id=self.node_id,
+                    source_id=payload.source_id,
+                    slow_down_ms=self.admission.slow_down_ms,
+                    delivery_id=next_delivery_id(),
+                )
+                self._stats.record_backpressure(KIND.BACKPRESSURE)
+                msg = Message(
+                    kind=KIND.BACKPRESSURE,
+                    payload=advisory,
+                    origin=self.node_id,
+                    dest_key=payload.source_id,
+                )
+                self.transport.route(
+                    self.node, msg, transit_kind=KIND.BACKPRESSURE_TRANSIT
+                )
+        return False
+
+    @handles(MbrMigrate)
+    def on_migrate(self, message: Message, payload: MbrMigrate) -> None:
+        """Install an MBR migrated here after an adaptive refit (§13).
+
+        The receive side mirrors :meth:`on_mbr`: lease the summary into
+        the local index, continue the range span over the remaining
+        covering arcs, and re-assert replication ownership — so a
+        migrated entry is indistinguishable from a fresh publish to
+        queries routed under the new epoch.  Migrations bypass the
+        admission gate: they carry load *away* from hot holders, and
+        shedding them would strand the summary between owners.
+        """
+        expires = self.transport.now + payload.lifespan_ms
+        self.index.add_mbr(payload.mbr, expires=expires, source_id=payload.source_id)
+        self.transport.continue_span(
+            self.node,
+            message,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
+            span_kind=KIND.MIGRATE_SPAN,
+        )
+        self.replication.note_primary(
+            payload.mbr,
+            source_id=payload.source_id,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
+            expires=expires,
         )
 
     @handles(SimilaritySubscribe)
@@ -203,6 +313,72 @@ class IndexHolderService(RoleService):
     def on_handoff(self, message: Message, payload: HintedHandoff) -> None:
         """Adopt a copy handed off after its owner died."""
         self.replication.install_handoff(payload, origin=message.origin)
+
+    # ------------------------------------------------------------------
+    # adaptive-mapping migration (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _arc_intersects(self, klow: int, khigh: int) -> bool:
+        """Whether this node's arc meets the circular range [klow, khigh].
+
+        Two circular intervals intersect iff either's start lies inside
+        the other; the arc is ``(predecessor, self]``, so its start is
+        ``predecessor + 1`` (or ``self`` when the pointer is unset).
+        """
+        node = self.node
+        if node.owns_key(klow):
+            return True
+        size = node.space.size
+        if node.predecessor is None or not node.predecessor.alive:
+            arc_start = node.node_id
+        else:
+            arc_start = (node.predecessor.node_id + 1) % size
+        return (arc_start - klow) % size <= (khigh - klow) % size
+
+    def migrate_stale(self, now: float) -> int:
+        """Move MBRs whose re-computed key range left this holder's arc.
+
+        Called by the system right after an adaptive refit: every live
+        entry whose first-coordinate interval now maps (under the fresh
+        epoch) to a range missing this node's arc is removed from the
+        store and re-disseminated as an :class:`MbrMigrate` over its
+        new range — the MBR-split step of §13's remapping.  Entries the
+        new mapping still places here are untouched, so a refit that
+        barely moves the quantile edges migrates almost nothing.
+        Returns the number of entries moved.
+        """
+        mapper = self.system.mapper
+        epoch = getattr(mapper, "epoch", 0)
+
+        def stale(entry) -> bool:
+            if entry.expires <= now:
+                return False  # expiring anyway; migrating it wastes sends
+            vlow, vhigh = entry.mbr.first_coordinate_interval
+            klow, khigh = mapper.key_range(vlow, vhigh)
+            return not self._arc_intersects(klow, khigh)
+
+        taken = self.index.take_mbrs(stale)
+        for entry in taken:
+            vlow, vhigh = entry.mbr.first_coordinate_interval
+            klow, khigh = mapper.key_range(vlow, vhigh)
+            mig = MbrMigrate(
+                mbr=entry.mbr,
+                source_id=entry.source_id,
+                low_key=klow,
+                high_key=khigh,
+                lifespan_ms=entry.expires - now,
+                epoch=epoch,
+                delivery_id=next_delivery_id(),
+            )
+            self._stats.record_mbr_migrated(KIND.MIGRATE)
+            self._stats.record_origination(KIND.MIGRATE)
+            self.runtime.reliable_disseminate(
+                mig,
+                kind=KIND.MIGRATE,
+                transit_kind=KIND.MIGRATE_TRANSIT,
+                low_key=klow,
+                high_key=khigh,
+            )
+        return len(taken)
 
     # ------------------------------------------------------------------
     # periodic duties

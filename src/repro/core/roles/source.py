@@ -15,8 +15,9 @@ runtime) so purging stays in one place.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 import numpy as np
 
@@ -28,7 +29,9 @@ from ..adaptive import AdaptiveMBRBatcher, estimate_system_size
 from ..mbr import MBRBatcher
 from ..protocol import (
     KIND,
+    Backpressure,
     InnerProductSubscribe,
+    LoadShed,
     MbrPublish,
     RegisterStream,
     ResponsePush,
@@ -66,6 +69,17 @@ class SourceService(RoleService):
     def __init__(self, runtime) -> None:
         super().__init__(runtime)
         self.sources: Dict[str, SourceState] = {}
+        # Queue-based load leveling (DESIGN.md §13): when holders push
+        # back, publishes queue here and drain at the advised cadence.
+        # All four fields stay at their initial values — and no timer is
+        # ever scheduled — while admission_control is off.
+        self._publish_queue: Deque[MbrPublish] = deque()
+        #: earliest simulated time the next publish may leave
+        self._next_allowed_ms = 0.0
+        #: current inter-publish gap; raised by Backpressure advisories,
+        #: decayed by half each time the queue fully drains
+        self._throttle_ms = 0.0
+        self._drain_scheduled = False
 
     @property
     def index(self):
@@ -154,14 +168,62 @@ class SourceService(RoleService):
         if src is not None:
             src.last_publish = payload
             src.last_publish_ms = self.transport.now
+        self._offer_publish(payload)
+
+    # ------------------------------------------------------------------
+    # throttled publish path (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _send_publish(self, payload: MbrPublish, now: float) -> None:
+        """Actually disseminate one publish (the pre-§13 send verbatim)."""
         self._stats.record_origination(KIND.MBR)
+        self._next_allowed_ms = now + self._throttle_ms
         self.runtime.reliable_disseminate(
             payload,
             kind=KIND.MBR,
             transit_kind=KIND.MBR_TRANSIT,
-            low_key=klow,
-            high_key=khigh,
+            low_key=payload.low_key,
+            high_key=payload.high_key,
         )
+
+    def _offer_publish(self, payload: MbrPublish) -> None:
+        """Send now if the throttle allows, else queue for the drain timer.
+
+        With ``admission_control`` off this is a straight pass-through
+        to :meth:`_send_publish` — bit-identical to the pre-§13 path.
+        """
+        now = self.transport.now
+        if not self.cfg.admission_control:
+            self._send_publish(payload, now)
+            return
+        if not self._publish_queue and now >= self._next_allowed_ms:
+            self._send_publish(payload, now)
+            return
+        self._stats.record_source_throttle(KIND.MBR)
+        self._publish_queue.append(payload)
+        self._schedule_drain(now)
+
+    def _schedule_drain(self, now: float) -> None:
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.transport.schedule(
+                max(1.0, self._next_allowed_ms - now), self._drain_publishes
+            )
+
+    def _drain_publishes(self) -> None:
+        """Drain queued publishes at the advised cadence, then decay it."""
+        self._drain_scheduled = False
+        if not self.node.alive:
+            return
+        now = self.transport.now
+        while self._publish_queue and now >= self._next_allowed_ms:
+            self._send_publish(self._publish_queue.popleft(), now)
+        if self._publish_queue:
+            self._schedule_drain(now)
+            return
+        # queue drained: relax the throttle toward full speed
+        self._throttle_ms *= 0.5
+        if self._throttle_ms < 1.0:
+            self._throttle_ms = 0.0
 
     # ------------------------------------------------------------------
     # message handlers
@@ -225,6 +287,48 @@ class SourceService(RoleService):
             dest_key=source_id,
         )
         self.transport.route(self.node, msg, transit_kind=KIND.QUERY_TRANSIT)
+
+    @handles(LoadShed)
+    def on_load_shed(self, message: Message, payload: LoadShed) -> None:
+        """A holder shed one of our publishes: re-offer it later (§13).
+
+        The re-publish carries the *remaining* lifespan (the shed notice
+        quotes the original expiry), so shedding delays visibility but
+        never extends a lease.  The retry is pushed behind at least one
+        token interval so a still-overloaded holder isn't immediately
+        hit again — without that floor, shed and re-publish would
+        ping-pong at network speed.
+        """
+        src = self.sources.get(payload.stream_id)
+        if src is None or src.last_publish is None:
+            return  # stream detached meanwhile; nothing to re-assert
+        now = self.transport.now
+        remaining = payload.expires_ms - now
+        if remaining <= 0:
+            return  # would have expired anyway
+        self._next_allowed_ms = max(
+            self._next_allowed_ms, now + 1000.0 / self.cfg.admission_rate_per_s
+        )
+        fresh: MbrPublish = replace(
+            src.last_publish,
+            lifespan_ms=remaining,
+            delivery_id=next_delivery_id(),
+        )
+        self._offer_publish(fresh)
+
+    @handles(Backpressure)
+    def on_backpressure(self, message: Message, payload: Backpressure) -> None:
+        """Stretch the publish cadence as an overloaded holder advises.
+
+        The throttle never shrinks below the advised gap while notices
+        keep arriving; once they stop, the drain loop halves it back
+        toward zero — multiplicative decrease both ways keeps the
+        control loop stable without per-holder state at the source.
+        """
+        now = self.transport.now
+        self._throttle_ms = max(self._throttle_ms, payload.slow_down_ms)
+        self._next_allowed_ms = max(self._next_allowed_ms, now + payload.slow_down_ms)
+        self._stats.record_source_throttle(KIND.BACKPRESSURE)
 
     # ------------------------------------------------------------------
     # periodic duties

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from ..chord.dht import DhtOverlay
 from ..chord.ring import ChordRing
 from ..chord.stabilize import Stabilizer
+from ..chord.vnodes import VirtualNodeMap, vnode_names
 from ..net.transport import SimTransport
 from ..sim.engine import Simulator
 from ..sim.faults import FaultInjector, FaultPlan, JitteredDelay
@@ -32,7 +33,7 @@ from ..sim.process import PeriodicProcess
 from ..sim.rng import RngRegistry
 from ..streams.generators import RandomWalkGenerator
 from .config import MiddlewareConfig
-from .mapping import LinearKeyMapper
+from .mapping import AdaptiveQuantileMapper, LinearKeyMapper
 from .metrics import FigureMetrics
 from .middleware import StreamIndexNode
 from .multicast import RangeMulticast
@@ -95,11 +96,30 @@ class StreamIndexSystem:
             liveness=self._node_alive,
         )
         self.ring = ChordRing(m=self.config.m)
+        #: token → physical-node bookkeeping (DESIGN.md §13); at
+        #: virtual_nodes = 1 every physical node has exactly one token
+        #: named after itself, so ids match a build without vnodes.
+        self.vmap = VirtualNodeMap()
         for i in range(n_nodes):
-            self.ring.create_node(f"dc-{i}")
+            for node in self.ring.create_virtual_nodes(
+                f"dc-{i}", self.config.virtual_nodes
+            ):
+                self.vmap.register(node)
         self.ring.build(self.config.successor_list_len)
         self.overlay = DhtOverlay(self.ring, self.network)
-        self.mapper = mapper if mapper is not None else LinearKeyMapper(self.ring.space)
+        if mapper is not None:
+            self.mapper = mapper
+        elif self.config.adaptive_mapping:
+            # DESIGN.md §13: epoch 0 of the adaptive mapper IS the
+            # Eq. 6 linear map, so enabling the flag changes nothing
+            # until the first refit actually fires
+            self.mapper = AdaptiveQuantileMapper(
+                self.ring.space, bins=self.config.adaptive_histogram_bins
+            )
+        else:
+            self.mapper = LinearKeyMapper(self.ring.space)
+        #: stabilization rounds seen since the last adaptive refit
+        self._adaptive_rounds = 0
         self.multicast = RangeMulticast(self.overlay, self.config.multicast)
         #: the Transport seam: dispatch/reliability/roles send and read
         #: the clock through this, never through Network directly
@@ -115,11 +135,24 @@ class StreamIndexSystem:
                 self.sim, self.ring, successor_list_len=self.config.successor_list_len
             )
             self.stabilizer.bootstrap_ring(list(self.ring))
+            # anti-entropy / hinted-handoff (§10) and adaptive-refit
+            # (§13) duties piggyback on the per-node stabilization
+            # round; the hook stays None when neither feature is on so
+            # default runs are byte-identical
+            hooks = []
             if self.config.replication_factor > 1:
-                # anti-entropy / hinted-handoff duties piggyback on the
-                # per-node stabilization round (DESIGN.md §10); the hook
-                # stays None at r = 1 so default runs are byte-identical
-                self.stabilizer.on_round = self._replication_round
+                hooks.append(self._replication_round)
+            if self.config.adaptive_mapping:
+                hooks.append(self._adaptive_round)
+            if len(hooks) == 1:
+                self.stabilizer.on_round = hooks[0]
+            elif hooks:
+
+                def chained(node, _hooks=tuple(hooks)):
+                    for hook in _hooks:
+                        hook(node)
+
+                self.stabilizer.on_round = chained
 
         # Sec. VI-B: optional cluster hierarchy over the ring order for
         # wide-selectivity queries
@@ -194,8 +227,30 @@ class StreamIndexSystem:
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
-        """Number of live data centers."""
+        """Number of live ring members (tokens; equals data centers at v=1)."""
         return len(self.ring)
+
+    @property
+    def n_physical(self) -> int:
+        """Number of live physical data centers (DESIGN.md §13).
+
+        Equals :attr:`n_nodes` without virtual nodes; under them, each
+        physical node contributes ``virtual_nodes`` ring members.
+        """
+        return len({node.physical_name for node in self.ring})
+
+    def physical_load(self) -> Dict[str, float]:
+        """Messages received per *physical* node over the measured window.
+
+        Aggregates :meth:`MessageStats.load_by_node` (a per-token count)
+        by physical name — the load distribution the §13 max/mean skew
+        metric and the Zipf-hotkey bench are computed over.
+        """
+        return self.vmap.aggregate_by_physical(self.network.stats.load_by_node())
+
+    def load_skew_ratio(self) -> float:
+        """Max/mean per-physical load ratio (1.0 = perfectly even)."""
+        return VirtualNodeMap.max_mean_ratio(self.physical_load())
 
     def app(self, index: int) -> StreamIndexNode:
         """The middleware app of the ``index``-th data center (ring order).
@@ -232,21 +287,34 @@ class StreamIndexSystem:
         from ..chord.hashing import node_identifier
         from ..chord.node import ChordNode
 
-        node_id = node_identifier(name, self.ring.space)
-        salt = 0
+        # All v tokens of the physical node join as one unit (§13): ids
+        # are derived before any join so sibling tokens salt against
+        # each other, then the stabilizer integrates them sequentially.
         existing = set(self.ring.node_ids) | set(self.apps)
-        while node_id in existing:
-            salt += 1
-            node_id = node_identifier(f"{name}#{salt}", self.ring.space)
-        node = ChordNode(name, node_id, self.ring.space)
+        nodes = []
+        for token in vnode_names(name, self.config.virtual_nodes):
+            node_id = node_identifier(token, self.ring.space)
+            salt = 0
+            while node_id in existing:
+                salt += 1
+                node_id = node_identifier(f"{token}#{salt}", self.ring.space)
+            existing.add(node_id)
+            nodes.append(
+                ChordNode(token, node_id, self.ring.space, physical_name=name)
+            )
         bootstrap = next(iter(self.ring))
-        self.stabilizer.join(node, bootstrap=bootstrap)
-        app = StreamIndexNode(node, self)
-        self.apps[node.node_id] = app
-        self._app_order.append(app)
-        self.overlay.register_app(node, app)
-        self._start_app_processes(app)
-        return app
+        self.stabilizer.join_physical(nodes, bootstrap)
+        first: Optional[StreamIndexNode] = None
+        for node in nodes:
+            self.vmap.register(node)
+            app = StreamIndexNode(node, self)
+            self.apps[node.node_id] = app
+            self._app_order.append(app)
+            self.overlay.register_app(node, app)
+            self._start_app_processes(app)
+            if first is None:
+                first = app
+        return first
 
     def fail_node(self, app: StreamIndexNode) -> None:
         """Crash a data center: it vanishes without notice.
@@ -257,9 +325,20 @@ class StreamIndexSystem:
         """
         if self.stabilizer is None:
             raise RuntimeError("fail_node requires with_stabilizer=True")
-        self.stabilizer.fail(app.node)
-        self.overlay.unregister_app(app.node)
-        app.reliable.cancel_all()
+        # A physical crash takes all of the data center's tokens down in
+        # the same instant (§13); at virtual_nodes = 1 the group is just
+        # the one node and this is byte-identical to failing it alone.
+        group = [
+            a
+            for a in self._app_order
+            if a.node.physical_name == app.node.physical_name and a.node.alive
+        ]
+        if not group:
+            group = [app]
+        self.stabilizer.fail_physical([a.node for a in group])
+        for a in group:
+            self.overlay.unregister_app(a.node)
+            a.reliable.cancel_all()
 
     # ------------------------------------------------------------------
     # stream attachment
@@ -271,11 +350,15 @@ class StreamIndexSystem:
         generator: Callable[[], float],
         *,
         period_ms: Optional[float] = None,
+        start_ms: Optional[float] = None,
     ) -> None:
         """Attach a stream to a data center and start its arrival process.
 
         The period defaults to a uniform draw from [PMIN, PMAX] as in
-        Table I; it stays fixed for the stream's lifetime.
+        Table I; it stays fixed for the stream's lifetime.  ``start_ms``
+        pins the first arrival's offset instead of the default random
+        phase — flash-crowd workloads use it to turn cohorts of streams
+        on mid-run.
         """
         wl = self.config.workload
         if period_ms is None:
@@ -283,20 +366,36 @@ class StreamIndexSystem:
             period_ms = float(rng.uniform(wl.pmin_ms, wl.pmax_ms))
         app.attach_stream(stream_id, generator)
         rng_phase = self.rngs.get("stream-phase")
+        phase = float(rng_phase.uniform(0.0, period_ms))
+        if start_ms is not None:
+            phase = float(start_ms)
         proc = PeriodicProcess(
             self.sim,
             period_ms,
             lambda a=app, s=stream_id: a.on_stream_value(s),
-            phase=float(rng_phase.uniform(0.0, period_ms)),
+            phase=phase,
         )
         proc.start()
         self._stream_procs.append(proc)
 
     def attach_random_walk_streams(self, *, step: float = 1.0) -> None:
-        """The paper's default workload: each node sources one random-walk stream."""
-        for i, app in enumerate(self._app_order):
-            gen = RandomWalkGenerator(self.rngs.fork("stream", i), step=step)
-            self.attach_stream(app, f"stream-{i}", gen.next_value)
+        """The paper's default workload: one random-walk stream per data center.
+
+        Streams attach per *physical* node (to its first token, in ring
+        order) — a data center sources one stream regardless of how many
+        ring identifiers it owns, so the Table I workload intensity is
+        independent of ``virtual_nodes``.
+        """
+        seen = set()
+        idx = 0
+        for app in self._app_order:
+            phys = app.node.physical_name
+            if phys in seen:
+                continue
+            seen.add(phys)
+            gen = RandomWalkGenerator(self.rngs.fork("stream", idx), step=step)
+            self.attach_stream(app, f"stream-{idx}", gen.next_value)
+            idx += 1
 
     # ------------------------------------------------------------------
     # execution & measurement
@@ -337,6 +436,53 @@ class StreamIndexSystem:
         app = self.apps.get(node.node_id)
         if app is not None and app.node.alive:
             app.runtime.holder.replication.on_round(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # adaptive quantile remapping (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _adaptive_round(self, node) -> None:
+        """Stabilizer hook: refit once every N full stabilization sweeps.
+
+        The stabilizer calls the hook once per node per round, so a
+        "sweep" is ``live-token-count`` calls; counting calls rather
+        than wall time keeps the refit cadence churn-proof and
+        deterministic.
+        """
+        self._adaptive_rounds += 1
+        live = sum(1 for n in self.ring if n.alive) or 1
+        if self._adaptive_rounds >= self.config.adaptive_refit_interval_rounds * live:
+            self._adaptive_rounds = 0
+            self.run_adaptive_refit()
+
+    def run_adaptive_refit(self) -> Optional[int]:
+        """Drain holder histograms, refit the mapping, migrate stale MBRs.
+
+        The three-step remap of §13: (1) pool every live holder's
+        key-density histogram, (2) invert the pooled CDF into fresh
+        equi-depth quantile edges (a new mapping epoch — older epochs
+        stay queryable for in-flight traffic), (3) have each holder
+        re-disseminate the stored MBRs whose re-computed range left its
+        arc.  Returns the new epoch, or ``None`` when the mapper is not
+        adaptive or no key density was observed since the last refit.
+        """
+        mapper = self.mapper
+        if not isinstance(mapper, AdaptiveQuantileMapper):
+            return None
+        apps = [app for app in self.apps.values() if app.node.alive]
+        total = None
+        for app in apps:
+            hist = app.runtime.holder.key_density
+            if hist.total <= 0:
+                continue
+            counts = hist.drain()
+            total = counts if total is None else total + counts
+        if total is None:
+            return None
+        epoch = mapper.refit(total)
+        now = self.sim.now
+        for app in apps:
+            app.runtime.holder.migrate_stale(now)
+        return epoch
 
     def handoff_backlog(self) -> int:
         """Hinted handoffs queued but not yet delivered, system-wide."""
@@ -397,7 +543,13 @@ class StreamIndexSystem:
         return positions[0], positions[-1] + 1
 
     def figure_metrics(self, duration_ms: float) -> FigureMetrics:
-        """Figure-ready metrics over the last ``duration_ms`` of activity."""
+        """Figure-ready metrics over the last ``duration_ms`` of activity.
+
+        Normalised per *physical* data center (the paper's per-node
+        figures); identical to per-token normalisation at v = 1.
+        """
         return FigureMetrics(
-            stats=self.network.stats, n_nodes=self.n_nodes, duration_ms=duration_ms
+            stats=self.network.stats,
+            n_nodes=self.n_physical,
+            duration_ms=duration_ms,
         )

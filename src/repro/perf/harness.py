@@ -30,6 +30,12 @@ reliability machinery:
     ground-truth query recall, eventual delivery, and the message
     overhead each extra replica costs.  The committed numbers are the
     durability evidence: recall dips at r = 1 and recovers at r = 3.
+``zipf_hotkey``
+    The §13 load-balancing evidence: a Zipf-skewed hot-key workload
+    (hot buzz cohort + flash crowd, ``repro.workload.hotkey``) run at
+    ``v ∈ {1, 4, 16}`` virtual nodes per physical data center,
+    recording the max/mean per-physical load ratio at each level — the
+    committed numbers must improve monotonically with ``v``.
 ``sweep_parallel``
     The quick sweep profile run serially and fanned across workers
     (``repro.perf.parallel``), reporting the wall-clock ratio, the host
@@ -336,6 +342,57 @@ def _scenario_replication_churn(quick: bool) -> ScenarioResult:
     return _measure("replication_churn", body)
 
 
+def _scenario_zipf_hotkey(quick: bool) -> ScenarioResult:
+    from ..core import MiddlewareConfig, StreamIndexSystem, WorkloadConfig
+    from ..workload import attach_zipf_hotkey_streams
+
+    n_physical = 16
+    measure_ms = 8_000.0 if quick else 16_000.0
+    seed = 2
+    vnode_levels = (1, 4, 16)
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        events = 0
+        throughput: Dict[str, float] = {}
+        meta: Dict[str, object] = {
+            "n_physical": n_physical,
+            "seed": seed,
+            "measure_ms": measure_ms,
+            "vnode_levels": list(vnode_levels),
+            "hot_fraction": 0.3,
+            "zipf_s": 1.1,
+            "flash_crowd": 8,
+        }
+        for v in vnode_levels:
+            config = MiddlewareConfig(
+                m=16,
+                window_size=16,
+                k=2,
+                batch_size=2,
+                virtual_nodes=v,
+                workload=WorkloadConfig(
+                    pmin_ms=100.0,
+                    pmax_ms=1_000.0,
+                    bspan_ms=8_000.0,
+                    qrate_per_s=0.0,
+                    nper_ms=500.0,
+                ),
+            )
+            system = StreamIndexSystem(n_physical, config, seed=seed)
+            attach_zipf_hotkey_streams(
+                system, flash_crowd=8, flash_at_ms=measure_ms / 2.0
+            )
+            system.warmup()
+            system.reset_stats()
+            system.run(measure_ms)
+            events += system.sim.events_processed
+            throughput[f"v{v}_max_mean_ratio"] = system.load_skew_ratio()
+            meta[f"v{v}_tokens"] = len(system.ring)
+        return events, throughput, meta
+
+    return _measure("zipf_hotkey", body)
+
+
 def _scenario_dft_incremental(quick: bool) -> ScenarioResult:
     from ..sim.rng import RngRegistry
     from ..streams.dft import SlidingDFT, SlidingDFTBank
@@ -394,6 +451,7 @@ _SCENARIOS: Tuple[Tuple[str, Callable[[bool], ScenarioResult]], ...] = (
     ("fig6a_calendar", _scenario_fig6a_calendar),
     ("lossy_seed11", _scenario_lossy_seed11),
     ("replication_churn", _scenario_replication_churn),
+    ("zipf_hotkey", _scenario_zipf_hotkey),
     ("dft_incremental", _scenario_dft_incremental),
     ("sweep_parallel", _scenario_sweep_parallel),
 )

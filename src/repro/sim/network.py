@@ -159,6 +159,16 @@ class MessageStats:
         self.handoffs_enqueued: Counter[str] = Counter()
         #: hinted handoffs dispatched to the arc's new owner, per kind
         self.handoffs_drained: Counter[str] = Counter()
+        #: MBR publishes shed by admission control, per delivery kind
+        #: (load-balancing only — empty unless admission_control is on)
+        self.publishes_shed: Counter[str] = Counter()
+        #: backpressure advisories emitted by overloaded holders, per kind
+        self.backpressure_signals: Counter[str] = Counter()
+        #: source publishes deferred by throttling, per kind
+        self.source_throttles: Counter[str] = Counter()
+        #: stored MBRs migrated to new-epoch owners after a mapping
+        #: refit, per kind (empty unless adaptive_mapping is on)
+        self.mbrs_migrated: Counter[str] = Counter()
         #: messages already in flight when this ledger was installed
         #: (their receives/drops land here without a matching send);
         #: set by ``StreamIndexSystem.reset_stats`` so the conservation
@@ -227,6 +237,22 @@ class MessageStats:
         """Record a hinted handoff dispatched to a new owner."""
         self.handoffs_drained[kind] += 1
 
+    def record_publish_shed(self, kind: str) -> None:
+        """Record an MBR publish shed by admission control."""
+        self.publishes_shed[kind] += 1
+
+    def record_backpressure(self, kind: str) -> None:
+        """Record a backpressure advisory emitted to a source."""
+        self.backpressure_signals[kind] += 1
+
+    def record_source_throttle(self, kind: str) -> None:
+        """Record a publish deferred by a throttled source."""
+        self.source_throttles[kind] += 1
+
+    def record_mbr_migrated(self, kind: str) -> None:
+        """Record a stored MBR migrated after a mapping refit."""
+        self.mbrs_migrated[kind] += 1
+
     def record_delivery(self, msg: Message, now: float) -> None:
         """Record final delivery of a logical message (hops & latency)."""
         kind = msg.kind
@@ -259,6 +285,10 @@ class MessageStats:
         "read_repairs",
         "handoffs_enqueued",
         "handoffs_drained",
+        "publishes_shed",
+        "backpressure_signals",
+        "source_throttles",
+        "mbrs_migrated",
     )
     #: (sum, count) accumulator tables — serialized as [kind, sum, count].
     _ACC_TABLES = ("hops_by_kind", "latency_by_kind")

@@ -2,6 +2,15 @@
 
 from .churn import ChurnWorkload
 from .generator import QueryWorkload
+from .hotkey import HotkeyWorkload, attach_zipf_hotkey_streams
 from .scenario import MeasuredRun, build_scenario, run_measured
 
-__all__ = ["ChurnWorkload", "QueryWorkload", "MeasuredRun", "build_scenario", "run_measured"]
+__all__ = [
+    "ChurnWorkload",
+    "QueryWorkload",
+    "HotkeyWorkload",
+    "attach_zipf_hotkey_streams",
+    "MeasuredRun",
+    "build_scenario",
+    "run_measured",
+]

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D012)."""
+"""Positive and negative cases for every simlint rule (D001–D013)."""
 
 import textwrap
 
@@ -20,7 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
-        "D009", "D010", "D011", "D012",
+        "D009", "D010", "D011", "D012", "D013",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -557,3 +557,56 @@ def test_d012_ignores_unrelated_imports(tmp_path):
     from collections import deque
     """
     assert run_lint(tmp_path, "core/roles/fine.py", source) == []
+
+
+# ---------------------------------------------------------------- D013
+def test_d013_flags_rogue_refit_and_mapper_writes(tmp_path):
+    source = """\
+    def rebalance(self):
+        self.system.mapper.refit(self.key_density.drain())
+
+    def hijack(self, system, mapper):
+        system.mapper = mapper
+        mapper._epochs = {}
+        mapper._edges = [0.0, 1.0]
+    """
+    findings = run_lint(tmp_path, "core/roles/rogue.py", source)
+    assert codes(findings) == ["D013", "D013", "D013", "D013"]
+
+
+def test_d013_flags_augmented_epoch_writes(tmp_path):
+    source = """\
+    def bump(mapper):
+        mapper._edges += [2.0]
+    """
+    findings = run_lint(tmp_path, "chord/rogue.py", source)
+    assert codes(findings) == ["D013"]
+
+
+def test_d013_allows_sanctioned_homes_and_reads(tmp_path):
+    mutation = """\
+    def refit_round(self):
+        self.mapper.refit(self.merged_counts)
+    """
+    # the remap entry points themselves may mutate mapping state
+    assert run_lint(tmp_path, "core/system.py", mutation) == []
+    assert run_lint(tmp_path, "core/mapping.py", mutation) == []
+    # tests and tooling outside the simulated world are unconstrained
+    assert run_lint(tmp_path, "tests/core/test_mapping.py", mutation) == []
+    assert run_lint(tmp_path, "perf/harness.py", mutation) == []
+    # reads of mapping state are fine anywhere
+    reads = """\
+    def place(self, system, value):
+        return system.mapper.key_of(value)
+
+    def span(self, system, low, high):
+        return system.mapper.key_range(low, high)
+    """
+    assert run_lint(tmp_path, "core/roles/fine.py", reads) == []
+    # local variables named `mapper` are not mapping state
+    local = """\
+    def build(space, sample):
+        mapper = object()
+        return mapper
+    """
+    assert run_lint(tmp_path, "core/roles/local.py", local) == []

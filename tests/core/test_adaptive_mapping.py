@@ -1,0 +1,221 @@
+"""Adaptive quantile remapping (DESIGN.md §13): epochs, refits, migration.
+
+Covers the three layers of the online re-fitter: the per-holder
+:class:`KeyDensityHistogram` reports, the epoch-versioned
+:class:`AdaptiveQuantileMapper`, and the system-level refit round —
+including the remap-epoch consistency contract: after an epoch bump,
+every *new* route uses the new mapping, while placements made under
+retained older epochs stay interpretable until migration re-places
+them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import check_index_placement
+from repro.chord import IdSpace
+from repro.core import MiddlewareConfig, StreamIndexSystem, WorkloadConfig
+from repro.core.mapping import (
+    AdaptiveQuantileMapper,
+    KeyDensityHistogram,
+    LinearKeyMapper,
+)
+
+
+def cfg(**kw):
+    defaults = dict(
+        m=16,
+        window_size=16,
+        k=2,
+        batch_size=2,
+        workload=WorkloadConfig(
+            pmin_ms=100.0,
+            pmax_ms=200.0,
+            bspan_ms=8_000.0,
+            qrate_per_s=0.0,
+            nper_ms=500.0,
+        ),
+    )
+    defaults.update(kw)
+    return MiddlewareConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# KeyDensityHistogram
+# ----------------------------------------------------------------------
+def test_histogram_bins_and_clamps():
+    hist = KeyDensityHistogram(4)
+    hist.observe(-1.0)  # lowest bin
+    hist.observe(-5.0)  # clamped into the lowest bin
+    hist.observe(0.999)  # highest bin
+    hist.observe(2.0)  # clamped into the highest bin
+    assert hist.total == 4
+    assert hist.counts[0] == 2.0
+    assert hist.counts[-1] == 2.0
+
+
+def test_histogram_drain_resets():
+    hist = KeyDensityHistogram(4)
+    hist.observe(0.0)
+    counts = hist.drain()
+    assert counts.sum() == 1.0
+    assert hist.total == 0
+    assert hist.counts.sum() == 0.0
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        KeyDensityHistogram(1)
+    with pytest.raises(ValueError):
+        KeyDensityHistogram(4, vmin=1.0, vmax=-1.0)
+
+
+# ----------------------------------------------------------------------
+# AdaptiveQuantileMapper: epochs
+# ----------------------------------------------------------------------
+def test_epoch_zero_is_the_paper_linear_map():
+    space = IdSpace(16)
+    adaptive = AdaptiveQuantileMapper(space, bins=8)
+    linear = LinearKeyMapper(space)
+    assert adaptive.epoch == 0
+    for v in np.linspace(-1.0, 1.0, 33):
+        assert adaptive.key_of(v) == linear.key_of(v)
+
+
+def test_refit_bumps_epoch_and_retains_history():
+    mapper = AdaptiveQuantileMapper(IdSpace(16), bins=8, history=2)
+    before = mapper.mapper_at(0)
+    counts = np.zeros(8)
+    counts[3] = 100.0  # all mass near the middle
+    assert mapper.refit(counts) == 1
+    assert mapper.epoch == 1
+    assert mapper.mapper_at(0) is before  # old epoch still resolvable
+    assert mapper.mapper_at(1) is mapper.current
+    # a second refit evicts epoch 0 (history=2 keeps epochs 1 and 2)
+    assert mapper.refit(counts) == 2
+    assert len(mapper.mappers()) == 2
+    # evicted epochs resolve to the oldest retained mapper
+    assert mapper.mapper_at(0) is mapper.mapper_at(1)
+
+
+def test_refit_spreads_concentrated_mass():
+    space = IdSpace(16)
+    mapper = AdaptiveQuantileMapper(space, bins=64)
+    counts = np.zeros(64)
+    counts[31] = 10_000.0  # hot band around v ≈ 0
+    mapper.refit(counts)
+    # under the new epoch, the hot band's image widens: points packed
+    # into one linear-map bucket now spread across a large key span
+    lo = mapper.key_of(-0.02)
+    hi = mapper.key_of(0.02)
+    linear_span = LinearKeyMapper(space).key_of(0.02) - LinearKeyMapper(
+        space
+    ).key_of(-0.02)
+    assert hi - lo > 10 * max(1, linear_span)
+
+
+def test_refit_keeps_monotonicity():
+    rng = np.random.default_rng(5)
+    mapper = AdaptiveQuantileMapper(IdSpace(16), bins=16)
+    mapper.refit(rng.uniform(0.0, 10.0, size=16))
+    values = np.linspace(-1.0, 1.0, 101)
+    keys = [mapper.key_of(v) for v in values]
+    assert keys == sorted(keys)  # no-false-dismissal needs monotone maps
+
+
+def test_refit_validation():
+    mapper = AdaptiveQuantileMapper(IdSpace(16), bins=8)
+    with pytest.raises(ValueError):
+        mapper.refit(np.zeros(5))  # wrong bin count
+    with pytest.raises(ValueError):
+        mapper.refit(np.array([-1.0] + [0.0] * 7))  # negative mass
+
+
+def test_key_of_at_explicit_epoch():
+    mapper = AdaptiveQuantileMapper(IdSpace(16), bins=8)
+    counts = np.zeros(8)
+    counts[0] = 100.0
+    mapper.refit(counts)
+    linear = LinearKeyMapper(mapper.space)
+    # epoch 0 still answers with the linear map; default is the new one
+    assert mapper.key_of(0.5, epoch=0) == linear.key_of(0.5)
+    assert mapper.key_of(0.5) != linear.key_of(0.5)
+
+
+# ----------------------------------------------------------------------
+# remap-epoch consistency, end to end
+# ----------------------------------------------------------------------
+def adaptive_system(**kw):
+    system = StreamIndexSystem(
+        10,
+        cfg(adaptive_mapping=True, adaptive_refit_interval_rounds=2, **kw),
+        seed=11,
+        with_stabilizer=True,
+    )
+    rng = system.rngs.fork("test-adaptive-walk", 0)
+    for i, app in enumerate(system.all_apps):
+        # skewed values: routing coordinates cluster, so a refit moves
+        # key images materially
+        system.attach_stream(
+            app, f"s{i}", lambda: float(rng.normal(50.0, 1.0)), period_ms=150.0
+        )
+    return system
+
+
+def test_stabilization_rounds_drive_refits():
+    system = adaptive_system()
+    system.warmup()
+    system.run(6_000.0)
+    assert isinstance(system.mapper, AdaptiveQuantileMapper)
+    assert system.mapper.epoch > 0  # the loop actually closed
+
+
+def test_routes_use_current_epoch_after_bump():
+    system = adaptive_system()
+    system.warmup()
+    system.run(6_000.0)
+    epoch = system.mapper.epoch
+    assert epoch > 0
+    # every key a source would derive now comes from the current epoch's
+    # mapper — no cached stale mapping anywhere in the publish path
+    current = system.mapper.current
+    for v in np.linspace(-1.0, 1.0, 21):
+        assert system.mapper.key_of(v) == current.key_of(v)
+    # and a forced extra refit is visible to the very next key derivation
+    new_epoch = system.run_adaptive_refit()
+    if new_epoch is not None:
+        assert new_epoch == epoch + 1
+        assert system.mapper.current is system.mapper.mapper_at(new_epoch)
+
+
+def test_placements_stay_valid_across_epoch_bumps():
+    system = adaptive_system()
+    system.warmup()
+    system.run(6_000.0)
+    assert system.mapper.epoch > 0
+    # stored MBRs were placed under several epochs; each must be valid
+    # under *some* retained epoch (migration handles the rest)
+    report = check_index_placement(system)
+    assert report.violations == []
+    assert report.checks_run > 0
+
+
+def test_refit_migrates_stale_placements():
+    system = adaptive_system()
+    system.warmup()
+    system.reset_stats()
+    system.run(6_000.0)
+    stats = system.network.stats
+    if system.mapper.epoch > 0:
+        # at least one refit happened on skewed data: stale placements
+        # moved to their new-epoch owners through MbrMigrate
+        assert sum(stats.mbrs_migrated.values()) > 0
+    # and after the dust settles the placement invariant still holds
+    system.run(3_000.0)
+    assert check_index_placement(system).violations == []
+
+
+def test_adaptive_disabled_keeps_static_linear_mapper():
+    system = StreamIndexSystem(4, cfg(), seed=11)
+    assert isinstance(system.mapper, LinearKeyMapper)
+    assert system.run_adaptive_refit() is None

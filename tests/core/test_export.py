@@ -63,6 +63,7 @@ def test_run_to_csv(tmp_path):
         "latency_ms",
         "reliability",
         "replication",
+        "load_balance",
     }
     meta = {r[1]: r[2] for r in rows if r[0] == "meta"}
     assert meta["n_nodes"] == "6"
@@ -98,6 +99,8 @@ def test_stats_csv_covers_every_messagestats_counter():
             "retransmissions", "dead_letters", "reliable_sends",
             "reliable_acked", "reliable_cancelled", "unknown_payloads",
             "read_repairs", "handoffs_enqueued", "handoffs_drained",
+            "publishes_shed", "backpressure_signals", "source_throttles",
+            "mbrs_migrated",
         }
         assert expected == "meta" or expected in counter_names, (
             f"MessageStats.{name} is not covered by stats_to_csv_string; "

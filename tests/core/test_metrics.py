@@ -129,8 +129,10 @@ def test_summary_bundle():
         "total_load",
         "reliability",
         "replication",
+        "load_balance",
     }
     assert out["reliability"]["availability"] == 1.0  # nothing tracked
     assert out["reliability"]["drops"] == 0.0
     assert out["replication"]["replica_pushes"] == 0.0  # inert at r = 1
+    assert out["load_balance"]["publishes_shed"] == 0.0  # inert by default
     assert out["replication"]["read_repairs"] == 0.0

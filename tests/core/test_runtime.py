@@ -25,11 +25,14 @@ from repro.core import (
 from repro.core.protocol import (
     PAYLOAD_REGISTRY,
     Ack,
+    Backpressure,
     HierarchyQuery,
     HintedHandoff,
     InnerProductSubscribe,
+    LoadShed,
     LocateReply,
     LocateRequest,
+    MbrMigrate,
     MbrPublish,
     RegisterStream,
     ReplicaAck,
@@ -142,6 +145,25 @@ PAYLOAD_FACTORIES = {
         low_key=peer.node_id,
         high_key=peer.node_id,
         expires_ms=5_000.0,
+    ),
+    MbrMigrate: lambda app, peer: MbrMigrate(
+        mbr=MBR.of_point(np.array([0.5, 0.5]), stream_id="sX"),
+        source_id=peer.node_id,
+        low_key=app.node_id,
+        high_key=app.node_id,
+        lifespan_ms=5_000.0,
+        epoch=1,
+    ),
+    LoadShed: lambda app, peer: LoadShed(
+        holder_id=peer.node_id,
+        source_id=app.node_id,
+        stream_id="sX",
+        expires_ms=5_000.0,
+    ),
+    Backpressure: lambda app, peer: Backpressure(
+        holder_id=peer.node_id,
+        source_id=app.node_id,
+        slow_down_ms=50.0,
     ),
 }
 
