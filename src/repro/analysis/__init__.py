@@ -46,6 +46,7 @@ from .invariants import (
     check_index_placement,
     check_invariants,
     check_message_conservation,
+    check_physical_ownership,
     check_ring,
 )
 from .linter import lint_paths
@@ -75,6 +76,7 @@ __all__ = [
     "Violation",
     "InvariantReport",
     "check_ring",
+    "check_physical_ownership",
     "check_index_placement",
     "check_message_conservation",
     "check_delivery_policy",

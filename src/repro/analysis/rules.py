@@ -1,4 +1,4 @@
-"""The simlint rule catalog (D001–D013).
+"""The simlint rule catalog (D001–D014).
 
 Each rule is an :class:`ast.NodeVisitor` with a code, a one-line title,
 and a path scope.  Rules are registered in :data:`RULES` by the
@@ -25,7 +25,10 @@ primitive containment (D012) bans ``socket``/``asyncio``/``threading``
 imports everywhere except ``repro/net``, the transport seam's home;
 mapping-mutation containment (D013) binds inside the simulated world
 outside ``core/mapping.py``/``core/system.py``, the sanctioned remap
-entry points (DESIGN.md §13).
+entry points (DESIGN.md §13); dict-state bound documentation (D014)
+binds inside ``chord``, where per-node mappings multiply by N and an
+undocumented key domain is how the N=5000 run once spent 60 % of its
+RSS on a routing memo (PERFORMANCE.md §11).
 """
 
 from __future__ import annotations
@@ -1068,4 +1071,87 @@ class MappingMutationRule(LintRule):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_target(node, node.target)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D014 — undocumented dict-state bound inside chord/
+# ----------------------------------------------------------------------
+@register
+class UnboundedNodeDictRule(LintRule):
+    """Dict state seeded in ``chord/`` must document what bounds it.
+
+    Everything in ``chord/`` is instantiated once per node (or once per
+    ring shared by every node), so a mapping whose key domain is
+    workload-sized — keys looked up, messages seen, queries routed —
+    multiplies by N and grows for the life of the run.  That is exactly
+    how the old per-key routing memo came to dominate peak RSS at
+    N = 5000: ~40 k entries *per node*, ~2 M total, for a cache that
+    still missed 85 % of lookups (PERFORMANCE.md §11).  Dicts keyed by
+    ring membership are fine — they cannot outgrow N — but the reader
+    (and this rule) cannot tell the two apart from the seed expression
+    alone.  So: every ``self.<attr>`` assignment that seeds a dict
+    (``{}``, ``dict()``, ``defaultdict(...)``) must carry a comment on
+    the same line or within the three lines above naming the bound —
+    any comment containing "bounded" or "capped" satisfies the rule,
+    e.g. ``#: bounded: one entry per live member node``.  State that
+    cannot honestly claim a bound should be keyed by routing state
+    (epoch-invalidated, like the arc memo) or evicted explicitly.
+    """
+
+    code = "D014"
+    title = "undocumented dict-state bound inside chord/"
+
+    _WITNESS = ("bounded", "capped")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not is_test_path(path) and _in_packages(path, ("chord",))
+
+    def _has_bound_witness(self, lineno: int) -> bool:
+        lo = max(0, lineno - 4)  # the seed line plus three lines above
+        for line in self._source_lines[lo:lineno]:
+            if "#" in line:
+                comment = line.split("#", 1)[1].lower()
+                if any(word in comment for word in self._WITNESS):
+                    return True
+        return False
+
+    def _seeds_dict(self, value: ast.expr) -> bool:
+        for node in ast.walk(value):
+            if isinstance(node, ast.Dict) and not node.keys:
+                return True
+            if isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name == "dict" and not node.args and not node.keywords:
+                    return True
+                if name in ("defaultdict", "collections.defaultdict"):
+                    return True
+        return False
+
+    def _check(self, node: ast.AST, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if not (isinstance(target.value, ast.Name) and target.value.id == "self"):
+            return
+        if not self._seeds_dict(value):
+            return
+        if self._has_bound_witness(getattr(node, "lineno", 1)):
+            return
+        self.report(
+            node,
+            f"dict state `self.{target.attr}` has no documented bound; "
+            "per-node mappings in chord/ multiply by N — add a comment "
+            "naming the bound (\"bounded: ...\"/\"capped: ...\") or key "
+            "it by epoch-invalidated routing state",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check(node, target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check(node, node.target, node.value)
         self.generic_visit(node)

@@ -50,6 +50,7 @@ class DhtOverlay:
     def __init__(self, ring: ChordRing, network: Network) -> None:
         self.ring = ring
         self.network = network
+        #: bounded: one entry per registered app, i.e. per live node
         self._apps: Dict[int, DhtApp] = {}
 
     # ------------------------------------------------------------------

@@ -63,13 +63,17 @@ class IdSpace:
     layer, so that every component agrees on ``m``.
     """
 
-    __slots__ = ("m", "size", "routing_epoch")
+    __slots__ = ("m", "size", "routing_epoch", "_interned")
 
     def __init__(self, m: int) -> None:
         if not (1 <= m <= 160):
             raise ValueError(f"m must be in [1, 160], got {m}")
         self.m = m
         self.size = 1 << m
+        #: canonical int object per member identifier (see :meth:`intern`);
+        #: bounded: one entry per distinct node id ever admitted to this
+        #: space — membership-sized, not workload-sized.
+        self._interned: dict = {}
         #: monotone counter bumped whenever any routing state anywhere on
         #: this ring changes (membership, successors, fingers).  Shared
         #: through the space object every node already holds, it gives
@@ -100,6 +104,24 @@ class IdSpace:
     def wrap(self, x: int) -> int:
         """Reduce ``x`` modulo the circle size."""
         return x % self.size
+
+    def intern(self, node_id: int) -> int:
+        """The canonical int object for a member identifier.
+
+        At ``m = 32`` every node id is a heap-boxed integer well outside
+        CPython's small-int cache, and each arithmetic reduction
+        (``% size``) mints a fresh equal copy.  Node ids are the most
+        replicated values in the system — ring index, app registry,
+        per-``(node, kind)`` stats keys, message origins — so routing
+        them all through one canonical object deduplicates those boxes
+        and lets dict probes short-circuit on identity.  Purely a
+        memory/speed measure: the returned int is ``==`` the input.
+        """
+        node_id %= self.size
+        got = self._interned.get(node_id)
+        if got is None:
+            got = self._interned[node_id] = node_id
+        return got
 
     def finger_start(self, node_id: int, i: int) -> int:
         """Start of the ``i``-th finger interval (1-based, as in the paper).

@@ -9,7 +9,7 @@ is exactly how the Chord paper specifies them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .idspace import IdSpace
 
@@ -59,7 +59,7 @@ class ChordNode:
         "successor_list",
         "alive",
         "physical_name",
-        "_nh_cache",
+        "_nh_arcs",
         "_nh_epoch",
     )
 
@@ -71,7 +71,7 @@ class ChordNode:
         physical_name: Optional[str] = None,
     ) -> None:
         self.name = name
-        self.node_id = int(node_id) % space.size
+        self.node_id = space.intern(int(node_id))
         self.physical_name = physical_name if physical_name is not None else name
         self.space = space
         self.fingers: List[Optional["ChordNode"]] = [None] * space.m
@@ -79,9 +79,14 @@ class ChordNode:
         self.predecessor: Optional["ChordNode"] = None
         self.successor_list: List["ChordNode"] = []
         self.alive = True
-        # key -> (next_node, final) memo for repro.chord.routing.next_hop,
-        # valid only while _nh_epoch matches space.routing_epoch.
-        self._nh_cache: Dict[int, Tuple["ChordNode", bool]] = {}
+        # Arc-keyed memo for repro.chord.routing.next_hop: the routing
+        # decision is piecewise-constant in the clockwise key distance,
+        # so (breakpoints, results) covers the *whole* key space in
+        # O(m + r) entries — bounded by construction, no per-key growth.
+        # Valid only while _nh_epoch matches space.routing_epoch.
+        self._nh_arcs: Optional[
+            Tuple[List[int], List[Tuple["ChordNode", bool]]]
+        ] = None
         self._nh_epoch = -1
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ class ChordRing:
 
     def __init__(self, m: int = 32) -> None:
         self.space = IdSpace(m)
+        #: bounded: one entry per member node (token), live or failed
         self._by_id: Dict[int, ChordNode] = {}
         self._ids: List[int] = []  # sorted ids of *live* member nodes
 

@@ -60,6 +60,15 @@ class Stabilizer:
     successor_list_len:
         Number of backup successors each node keeps; the ring tolerates
         up to ``len-1`` consecutive simultaneous failures.
+    cohorts:
+        ``0`` (default): one periodic process per node, each ticking
+        every ``period_ms`` — the historical layout, byte-identical to
+        every pinned digest.  ``C > 0``: nodes are grouped into ``C``
+        round-robin cohorts (by ``node_id % C``) sharing ``C`` periodic
+        processes with phases spread across the period; each node is
+        still maintained once per ``period_ms``, but the scheduler holds
+        ``C`` timers instead of ``N`` — the O(log n)-batch knob that
+        makes stabilization affordable at N = 5000.
     """
 
     def __init__(
@@ -69,13 +78,24 @@ class Stabilizer:
         *,
         period_ms: float = 500.0,
         successor_list_len: int = 4,
+        cohorts: int = 0,
     ) -> None:
+        if cohorts < 0:
+            raise ValueError(f"cohorts must be >= 0, got {cohorts}")
         self.sim = sim
         self.ring = ring
         self.period_ms = period_ms
         self.successor_list_len = successor_list_len
+        self.cohorts = cohorts
+        #: both bounded: one entry per node under maintenance
         self._procs: Dict[int, PeriodicProcess] = {}
         self._finger_cursor: Dict[int, int] = {}
+        #: cohort mode: members per cohort (bounded by ring membership)
+        #: and the C shared periodic processes, started lazily
+        self._cohort_members: List[Dict[int, ChordNode]] = [
+            {} for _ in range(cohorts)
+        ]
+        self._cohort_procs: List[Optional[PeriodicProcess]] = [None] * cohorts
         #: optional per-node callback fired after each maintenance
         #: round — the replication layer's anti-entropy hook
         #: (DESIGN.md §10).  ``None`` (the default) keeps stabilization
@@ -149,6 +169,10 @@ class Stabilizer:
         proc = self._procs.pop(node.node_id, None)
         if proc is not None:
             proc.stop()
+        if self.cohorts:
+            self._cohort_members[node.node_id % self.cohorts].pop(
+                node.node_id, None
+            )
         self.ring.remove(node)  # sets node.alive = False
 
     # ------------------------------------------------------------------
@@ -156,6 +180,26 @@ class Stabilizer:
     # ------------------------------------------------------------------
     def start_maintenance(self, node: ChordNode) -> None:
         """Begin this node's periodic stabilization process."""
+        if self.cohorts:
+            cohort = node.node_id % self.cohorts
+            members = self._cohort_members[cohort]
+            if node.node_id in members:
+                return
+            self._finger_cursor.setdefault(node.node_id, 0)
+            members[node.node_id] = node
+            if self._cohort_procs[cohort] is None:
+                proc = PeriodicProcess(
+                    self.sim,
+                    self.period_ms,
+                    lambda j=cohort: self._maintain_cohort(j),
+                    # Spread cohort ticks evenly across the period so
+                    # maintenance load stays smooth, as with per-node
+                    # staggering.
+                    phase=cohort / self.cohorts * self.period_ms + 1.0,
+                )
+                self._cohort_procs[cohort] = proc
+                proc.start()
+            return
         if node.node_id in self._procs:
             return
         self._finger_cursor[node.node_id] = 0
@@ -169,6 +213,14 @@ class Stabilizer:
         )
         self._procs[node.node_id] = proc
         proc.start()
+
+    def _maintain_cohort(self, cohort: int) -> None:
+        """One shared tick: maintain every cohort member, in id order."""
+        members = self._cohort_members[cohort]
+        for node_id in sorted(members):
+            node = members.get(node_id)
+            if node is not None and node.alive:
+                self._maintain(node)
 
     def _maintain(self, node: ChordNode) -> None:
         if not node.alive:

@@ -69,6 +69,7 @@ class VirtualNodeMap:
     """
 
     def __init__(self) -> None:
+        #: both bounded: one entry per token / per physical data center
         self._physical_of: Dict[int, str] = {}
         self._tokens_of: Dict[str, List[int]] = {}
 

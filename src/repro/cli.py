@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
     python -m repro baselines --nodes 50
     python -m repro lossy --nodes 50 --loss 0.05 --churn 0.1 --duration 20
     python -m repro bench --quick
+    python -m repro shard --jobs 4 --check
     python -m repro lint src
     python -m repro protocol [--json]
     python -m repro node --listen 127.0.0.1:7000 [--join HOST:PORT]
@@ -182,6 +183,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan scenarios out across N worker processes (each measured "
         "in its own process; default 1 = in-process serial)",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one scenario sharded across worker processes with a "
+        "deterministic barrier merge; --check verifies the merged "
+        "stats CSV is byte-identical to a serial run",
+    )
+    shard.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="ring shards / worker processes (default 2)",
+    )
+    shard.add_argument(
+        "--scenario",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="scenario(s) to run (default: all; see repro.perf.shards)",
+    )
+    shard.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter measurement interval (CI smoke profile)",
+    )
+    shard.add_argument(
+        "--output",
+        default=None,
+        help="write a JSON report of digests to this path",
+    )
+    shard.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run serially and verify byte-identical stats "
+        "(exit 1 on mismatch)",
     )
 
     sweep = sub.add_parser(
@@ -706,6 +743,19 @@ def cmd_bench(args, out) -> int:
     )
 
 
+def cmd_shard(args, out) -> int:
+    from .perf.shards import run_shard_suite
+
+    return run_shard_suite(
+        scenarios=args.scenario,
+        jobs=args.jobs,
+        quick=args.quick,
+        check=args.check,
+        output=args.output,
+        echo=lambda msg: print(msg, file=out),
+    )
+
+
 def cmd_sweep(args, out) -> int:
     from .perf.parallel import DEFAULT_SWEEP_PATH, run_sweep
 
@@ -1015,6 +1065,7 @@ _COMMANDS = {
     "baselines": cmd_baselines,
     "lossy": cmd_lossy,
     "bench": cmd_bench,
+    "shard": cmd_shard,
     "sweep": cmd_sweep,
     "lint": cmd_lint,
     "protocol": cmd_protocol,

@@ -183,6 +183,14 @@ class MiddlewareConfig:
     admission_rate_per_s / admission_burst:
         Token-bucket refill rate (MBR publishes per second a holder
         accepts sustained) and bucket depth (burst tolerance).
+    stabilize_cohorts:
+        ``0`` (default): one stabilization timer per node, the
+        historical layout every pinned digest was produced under.
+        ``C > 0``: maintenance runs in ``C`` shared round-robin cohort
+        timers (``node_id % C``), each node still maintained once per
+        period — the batching that keeps the scheduler's timer
+        population O(C) instead of O(N) at large rings (PERFORMANCE.md
+        §11).
     workload:
         The Table I parameters.
     """
@@ -224,6 +232,7 @@ class MiddlewareConfig:
     admission_control: bool = False
     admission_rate_per_s: float = 20.0
     admission_burst: float = 10.0
+    stabilize_cohorts: int = 0
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
 
     def __post_init__(self) -> None:
@@ -277,6 +286,29 @@ class MiddlewareConfig:
             raise ValueError("admission_rate_per_s must be positive")
         if self.admission_burst < 1:
             raise ValueError("admission_burst must be >= 1")
+        if self.stabilize_cohorts < 0:
+            raise ValueError("stabilize_cohorts must be >= 0")
+
+    @property
+    def duplicates_possible(self) -> bool:
+        """Whether any mechanism can deliver one logical payload twice.
+
+        Receive-side dedup (``NodeRuntime._note_delivery``) only has
+        work to do when some path can replay a ``(origin, delivery_id)``
+        pair at the same node: network duplicate injection, reliable
+        retransmission after loss, multi-token span ownership (virtual
+        nodes), or replica re-pushes.  With every one of those off, the
+        seen-set can never hit and tracking it is pure memory overhead
+        — at N = 5000 it was tens of MB of tuples that could never
+        match (PERFORMANCE.md §11).
+        """
+        return (
+            self.reliable_delivery
+            or self.loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.virtual_nodes > 1
+            or self.replication_factor > 1
+        )
 
     def with_(self, **changes) -> "MiddlewareConfig":
         """A modified copy (convenience over :func:`dataclasses.replace`)."""

@@ -46,7 +46,7 @@ from .protocol import InnerProductSubscribe, SimilaritySubscribe
 __all__ = ["StoredMBR", "StoredSimilaritySub", "StoredInnerProductSub", "LocalIndex"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredMBR:
     """An MBR held by a data center until ``expires``.
 
@@ -61,7 +61,7 @@ class StoredMBR:
     source_id: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredSimilaritySub:
     """A similarity subscription installed at a range node."""
 
@@ -72,7 +72,7 @@ class StoredSimilaritySub:
     reported: set = field(default_factory=set)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredInnerProductSub:
     """An inner-product subscription installed at the stream's source."""
 
@@ -91,21 +91,88 @@ class LocalIndex:
         # Block layout over the MBR store (see module docstring):
         # (ranges, lows, highs, expires) where ranges maps stream_id to
         # its contiguous [start, stop) row range.  Rebuilt lazily after
-        # any store mutation; None when stale or when the store holds
-        # mixed dimensionalities (scalar fallback).
+        # a structural store mutation; None when stale or when the store
+        # holds mixed dimensionalities (scalar fallback).  Inserts that
+        # land at the end of the layout (a new stream, or the stream
+        # already holding the last block) are appended in place instead
+        # of invalidating — the common case under steady publishing,
+        # where full rebuilds otherwise dominate the ingest path.
         self._stack: Optional[
             Tuple[Dict[str, Tuple[int, int]], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        # Backing buffers for the append path: exact-size views of these
+        # become the stack arrays; capacity doubles on overflow so an
+        # append is O(1) amortised instead of an O(store) rebuild.
+        self._stack_buf: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = None
 
     # ------------------------------------------------------------------
     # MBR store
     # ------------------------------------------------------------------
     def add_mbr(self, mbr: MBR, expires: float, source_id: int = -1) -> None:
-        """Store a summary MBR until its lifespan ends."""
-        self._mbrs.setdefault(mbr.stream_id, []).append(
-            StoredMBR(mbr, expires, source_id)
-        )
-        self._stack = None
+        """Store a summary MBR until its lifespan ends.
+
+        Keeps the block layout warm when the insert lands at its end
+        (see :meth:`_append_to_stack`); otherwise the layout goes stale
+        and the next scan rebuilds it — producing bit-identical arrays
+        either way, since both paths write the same rows in the same
+        ``self._mbrs`` iteration order.
+        """
+        sid = mbr.stream_id
+        entries = self._mbrs.get(sid)
+        is_new_stream = entries is None
+        if is_new_stream:
+            entries = self._mbrs[sid] = []
+        entries.append(StoredMBR(mbr, expires, source_id))
+        if self._stack is not None and not self._append_to_stack(
+            mbr, expires, is_new_stream
+        ):
+            self._stack = None
+
+    def _append_to_stack(
+        self, mbr: MBR, expires: float, is_new_stream: bool
+    ) -> bool:
+        """Extend the block layout in place for an end-of-layout insert.
+
+        Possible exactly when a rebuild would put the new row last: the
+        stream is new (``dict`` insertion order appends its block), or
+        it already owns the final block.  Returns ``False`` when the
+        insert lands mid-layout (or changes dimensionality) and a full
+        rebuild is required.
+        """
+        ranges, lows, highs, exp = self._stack
+        n = len(exp)
+        if len(mbr.low) != lows.shape[1]:
+            return False
+        rng = ranges.get(mbr.stream_id)
+        if rng is None:
+            if not is_new_stream:  # pre-existing mid-layout stream
+                return False
+            start = n
+        elif rng[1] == n:
+            start = rng[0]
+        else:
+            return False
+        buf = self._stack_buf
+        if buf is None or len(buf[2]) < n + 1:
+            cap = max(2 * n, 64)
+            grown_lows = np.empty((cap, lows.shape[1]), dtype=np.float64)
+            grown_highs = np.empty((cap, lows.shape[1]), dtype=np.float64)
+            grown_exp = np.empty(cap, dtype=np.float64)
+            grown_lows[:n] = lows
+            grown_highs[:n] = highs
+            grown_exp[:n] = exp
+            buf = self._stack_buf = (grown_lows, grown_highs, grown_exp)
+        buf[0][n] = mbr.low
+        buf[1][n] = mbr.high
+        buf[2][n] = expires
+        ranges[mbr.stream_id] = (start, n + 1)
+        self._stack = (ranges, buf[0][: n + 1], buf[1][: n + 1], buf[2][: n + 1])
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("index.stack_appends")
+        return True
 
     def take_mbrs(self, predicate) -> List[StoredMBR]:
         """Remove and return stored MBRs matching ``predicate(entry)``.
@@ -192,8 +259,14 @@ class LocalIndex:
         self,
     ) -> Optional[Tuple[Dict[str, Tuple[int, int]], np.ndarray, np.ndarray, np.ndarray]]:
         """(Re)build the block layout; ``None`` for empty/ragged stores."""
+        # The append buffers only mirror the *current* layout; a rebuild
+        # starts from fresh arrays, so any old buffer is stale garbage.
+        self._stack_buf = None
         if not self._mbrs:
             return None
+        c = _opc.ACTIVE
+        if c is not None:
+            c.inc("index.stack_rebuilds")
         dims = None
         total = 0
         for entries in self._mbrs.values():

@@ -10,7 +10,6 @@ no-false-dismissal) similarity candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -18,7 +17,6 @@ import numpy as np
 __all__ = ["MBR", "MBRBatcher"]
 
 
-@dataclass
 class MBR:
     """An axis-aligned bounding box in feature space.
 
@@ -33,27 +31,74 @@ class MBR:
         Number of feature vectors absorbed.
     created:
         Simulated time of the first vector (for lifespan bookkeeping).
+
+    Both bounds live in one ``(2, d)`` array (``low``/``high`` are
+    views of its rows): a standalone d=5 float64 array costs ~180 B
+    resident, and with ~150 k boxes live at N = 5000 the second array
+    per box was a double-digit-MB line item (PERFORMANCE.md §11).
+    In-place updates through the views (``out=self.low``) write through
+    to the shared buffer, so ``extend`` behaves exactly as before.
     """
 
-    low: np.ndarray
-    high: np.ndarray
-    stream_id: str = ""
-    count: int = 0
-    created: float = 0.0
+    __slots__ = ("_bounds", "stream_id", "count", "created")
 
-    def __post_init__(self) -> None:
-        self.low = np.asarray(self.low, dtype=np.float64)
-        self.high = np.asarray(self.high, dtype=np.float64)
-        if self.low.shape != self.high.shape:
+    def __init__(
+        self,
+        low: np.ndarray,
+        high: np.ndarray,
+        stream_id: str = "",
+        count: int = 0,
+        created: float = 0.0,
+    ) -> None:
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.shape != high.shape:
             raise ValueError("low/high shape mismatch")
-        if (self.low > self.high + 1e-12).any():
+        if (low > high + 1e-12).any():
             raise ValueError("MBR requires low <= high in every dimension")
+        bounds = np.empty((2,) + low.shape, dtype=np.float64)
+        bounds[0] = low
+        bounds[1] = high
+        self._bounds = bounds
+        self.stream_id = stream_id
+        self.count = count
+        self.created = created
+
+    @property
+    def low(self) -> np.ndarray:
+        """Per-dimension lower bounds (a view; writes go through)."""
+        return self._bounds[0]
+
+    @property
+    def high(self) -> np.ndarray:
+        """Per-dimension upper bounds (a view; writes go through)."""
+        return self._bounds[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"MBR(low={self.low!r}, high={self.high!r}, "
+            f"stream_id={self.stream_id!r}, count={self.count}, "
+            f"created={self.created})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return (
+            self.stream_id == other.stream_id
+            and self.count == other.count
+            and self.created == other.created
+            and self._bounds.shape == other._bounds.shape
+            and bool(np.array_equal(self._bounds, other._bounds))
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
 
     @classmethod
     def of_point(cls, point: np.ndarray, stream_id: str = "", created: float = 0.0) -> "MBR":
         """A degenerate MBR covering a single feature vector."""
         p = np.asarray(point, dtype=np.float64)
-        return cls(low=p.copy(), high=p.copy(), stream_id=stream_id, count=1, created=created)
+        return cls(low=p, high=p, stream_id=stream_id, count=1, created=created)
 
     @property
     def dimensions(self) -> int:

@@ -69,7 +69,11 @@ class NodeRuntime:
         self.reliable = ReliableSender(self)
         #: deliveries already processed here (receive-side dedup), keyed
         #: by (origin, delivery_id): delivery ids are only unique per
-        #: originating node once nodes run as separate OS processes
+        #: originating node once nodes run as separate OS processes.
+        #: Tracked only when the config has a mechanism that can replay
+        #: a delivery at all — otherwise the set can never hit and its
+        #: upkeep is pure memory overhead at scale.
+        self._dedup_enabled = self.cfg.duplicates_possible
         self._seen_deliveries: Set[Tuple[int, int]] = set()
         self._seen_order: Deque[Tuple[int, int]] = deque()
         self.dispatch = DispatchTable()
@@ -202,6 +206,8 @@ class NodeRuntime:
         running as separate OS processes may well hand out the same
         bare delivery id from their process-local counters.
         """
+        if not self._dedup_enabled:
+            return False
         delivery_id = getattr(payload, "delivery_id", -1)
         if delivery_id < 0:
             return False

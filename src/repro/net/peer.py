@@ -232,6 +232,10 @@ class PeerSystem:
     def _node_alive(self, node_id: int) -> bool:
         return node_id in self._peer.ring.node_ids
 
+    def executes(self, node_id: int) -> bool:
+        """Socket runtime has no shard replicas: every local node runs."""
+        return True
+
 
 class PeerNode:
     """One OS-process data center: server, membership, app, transport."""

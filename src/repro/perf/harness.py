@@ -15,6 +15,12 @@ reliability machinery:
     The determinism-regression scenario (16 nodes, loss/dup/churn,
     seed 11) — reliability hot paths; its stats CSV digest doubles as
     byte-identity evidence in the report.
+``fig6a_scale``
+    The order-of-magnitude scale point: the Fig. 6(a) workload shape at
+    N = 5000 nodes (N = 1000 under ``--quick``) with a 16-sample window
+    and a thinned query rate so one process holds the whole ring.  Over
+    a million simulator events per full run; the events/s and RSS-delta
+    numbers here are the headline scale evidence (PERFORMANCE.md §11).
 ``fig6a_calendar``
     The same Fig. 6(a) scenario on the calendar-queue scheduler backend
     (``MiddlewareConfig(scheduler="calendar")``): identical simulated
@@ -84,6 +90,33 @@ def _peak_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
+def _current_rss_kb() -> Optional[int]:
+    """Current (not peak) resident set in kB, from ``/proc/self/status``.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so in a serial
+    in-process suite every scenario after the hungriest one inherits its
+    peak.  The VmRSS delta across a scenario is the per-scenario number:
+    how much resident memory that scenario's live state actually costs.
+    Returns ``None`` on hosts without procfs (the field is then omitted).
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def _cache_hit_rate(ops: Dict[str, int]) -> Optional[float]:
+    """Routing-memo hit rate from an op snapshot, or None if unused."""
+    hits = ops.get("route.cache_hits", 0)
+    misses = ops.get("route.cache_misses", 0)
+    total = hits + misses
+    return (hits / total) if total else None
+
+
 def _measure(
     name: str,
     fn: Callable[[], Tuple[Optional[int], Dict[str, float], Dict[str, object]]],
@@ -91,23 +124,33 @@ def _measure(
     """Run one scenario under op counting and wall-clock timing.
 
     ``fn`` returns ``(events, throughput, meta)``; everything else
-    (wall, RSS, events/sec, op snapshot) is measured here so every
-    scenario reports the same way.
+    (wall, RSS before/after, events/sec, op snapshot, route-memo hit
+    rate) is measured here so every scenario reports the same way.
     """
     ops = OpCounters()
+    rss_before = _current_rss_kb()
     start = time.perf_counter()
     with counting(ops):
         events, throughput, meta = fn()
     wall = time.perf_counter() - start
+    rss_after = _current_rss_kb()
+    rss_delta = (
+        rss_after - rss_before
+        if (rss_before is not None and rss_after is not None)
+        else None
+    )
     events_per_s = (events / wall) if (events is not None and wall > 0) else None
+    snapshot = ops.snapshot()
     return ScenarioResult(
         name=name,
         wall_s=wall,
         peak_rss_kb=_peak_rss_kb(),
+        rss_delta_kb=rss_delta,
+        cache_hit_rate=_cache_hit_rate(snapshot),
         events=events,
         events_per_s=events_per_s,
         throughput=throughput,
-        ops=ops.snapshot(),
+        ops=snapshot,
         meta=meta,
     )
 
@@ -196,6 +239,43 @@ def _scenario_fig6a_calendar(quick: bool) -> ScenarioResult:
         }
 
     return _measure("fig6a_calendar", body)
+
+
+def _scenario_fig6a_scale(quick: bool) -> ScenarioResult:
+    from ..core.config import MiddlewareConfig, WorkloadConfig
+    from ..workload.scenario import run_measured
+
+    n_nodes = 1_000 if quick else 5_000
+    warmup_ms = 1_000.0
+    measure_ms = 3_000.0 if quick else 9_000.0
+
+    def body() -> Tuple[Optional[int], Dict[str, float], Dict[str, object]]:
+        run = run_measured(
+            n_nodes,
+            config=MiddlewareConfig(
+                window_size=16,
+                k=2,
+                batch_size=1,
+                workload=WorkloadConfig(qrate_per_s=0.5),
+            ),
+            seed=0,
+            warmup_extra_ms=warmup_ms,
+            measure_ms=measure_ms,
+        )
+        events = run.system.sim.events_processed
+        return events, {}, {
+            "n_nodes": n_nodes,
+            "seed": 0,
+            "window_size": 16,
+            "k": 2,
+            "batch_size": 1,
+            "qrate_per_s": 0.5,
+            "warmup_extra_ms": warmup_ms,
+            "measure_ms": measure_ms,
+            "queries_posted": run.queries_posted,
+        }
+
+    return _measure("fig6a_scale", body)
 
 
 def _scenario_sweep_parallel(quick: bool) -> ScenarioResult:
@@ -449,6 +529,7 @@ _SCENARIOS: Tuple[Tuple[str, Callable[[bool], ScenarioResult]], ...] = (
     ("ring_build", _scenario_ring_build),
     ("fig6a_load", _scenario_fig6a),
     ("fig6a_calendar", _scenario_fig6a_calendar),
+    ("fig6a_scale", _scenario_fig6a_scale),
     ("lossy_seed11", _scenario_lossy_seed11),
     ("replication_churn", _scenario_replication_churn),
     ("zipf_hotkey", _scenario_zipf_hotkey),
@@ -488,6 +569,8 @@ def run_suite(
         line = f"bench: {result.name} done in {result.wall_s:.2f}s"
         if result.events_per_s is not None:
             line += f" ({result.events_per_s:,.0f} events/s)"
+        if result.rss_delta_kb is not None:
+            line += f" [rss {result.rss_delta_kb:+,} kB]"
         print(line, file=out, flush=True)
 
     if jobs > 1 and len(selected) > 1:

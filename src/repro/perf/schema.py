@@ -18,6 +18,8 @@ Schema (version 1)
         "<name>": {
           "wall_s": float,          # wall-clock of the measured phase
           "peak_rss_kb": int,       # ru_maxrss after the scenario (kB)
+          "rss_delta_kb": int | null,       # VmRSS growth across the scenario
+          "cache_hit_rate": float | null,   # route memo hits/(hits+misses)
           "events": int | null,     # simulator events in the phase
           "events_per_s": float | null,
           "throughput": {"<metric>": float, ...},   # scenario extras
@@ -70,6 +72,8 @@ class ScenarioResult:
     peak_rss_kb: int
     events: Optional[int] = None
     events_per_s: Optional[float] = None
+    rss_delta_kb: Optional[int] = None
+    cache_hit_rate: Optional[float] = None
     throughput: Dict[str, float] = field(default_factory=dict)
     ops: Dict[str, int] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -79,6 +83,8 @@ class ScenarioResult:
         return {
             "wall_s": self.wall_s,
             "peak_rss_kb": self.peak_rss_kb,
+            "rss_delta_kb": self.rss_delta_kb,
+            "cache_hit_rate": self.cache_hit_rate,
             "events": self.events,
             "events_per_s": self.events_per_s,
             "throughput": dict(self.throughput),
@@ -98,6 +104,16 @@ class ScenarioResult:
                 None
                 if data.get("events_per_s") is None
                 else float(data["events_per_s"])
+            ),
+            rss_delta_kb=(
+                None
+                if data.get("rss_delta_kb") is None
+                else int(data["rss_delta_kb"])
+            ),
+            cache_hit_rate=(
+                None
+                if data.get("cache_hit_rate") is None
+                else float(data["cache_hit_rate"])
             ),
             throughput=dict(data.get("throughput", {})),
             ops={k: int(v) for k, v in data.get("ops", {}).items()},
@@ -169,7 +185,7 @@ def validate_report(data: Any) -> None:
                 entry.get(key), bool
             ):
                 raise SchemaError(f"scenario {name!r} missing numeric {key!r}")
-        for key in ("events", "events_per_s"):
+        for key in ("events", "events_per_s", "rss_delta_kb", "cache_hit_rate"):
             value = entry.get(key)
             if value is not None and (
                 not isinstance(value, (int, float)) or isinstance(value, bool)

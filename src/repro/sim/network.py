@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol, Tuple
 
 from ..perf import counters as _opc
 from .engine import Simulator
@@ -31,7 +31,13 @@ from .faults import DROP_DEAD_DEST, FaultInjector
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .tracing import MessageTracer
 
-__all__ = ["Message", "MessageStats", "Network", "DEFAULT_HOP_DELAY_MS"]
+__all__ = [
+    "Message",
+    "MessageStats",
+    "Network",
+    "ShardPartition",
+    "DEFAULT_HOP_DELAY_MS",
+]
 
 DEFAULT_HOP_DELAY_MS = 50.0
 """Per-hop routing delay used by the paper's Chord simulator setup."""
@@ -39,7 +45,7 @@ DEFAULT_HOP_DELAY_MS = 50.0
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A logical application message travelling over the overlay.
 
@@ -446,6 +452,37 @@ class MessageStats:
         return acked / attempted if attempted > 0 else 1.0
 
 
+class ShardPartition(Protocol):
+    """Boundary between a shard-local scheduler and the rest of the ring.
+
+    When a :class:`Network` has a partition installed, hops whose
+    destination lives on another shard are *exported* instead of being
+    scheduled locally: the partition buffers the fully-computed arrival
+    (absolute deliver time, destination, continuation) and the shard
+    coordinator replays it on the owning shard at the next time barrier,
+    in a total order that reproduces the serial run exactly (see
+    :mod:`repro.perf.shards`).  The sender-side ``in_flight`` increment
+    is kept by the exporting shard; the importing shard runs
+    ``Network._arrive`` which performs the matching decrement, so the
+    conservation equation holds over the *sum* of shard gauges.
+    """
+
+    def is_local(self, node_id: int) -> bool:
+        """Whether ``node_id`` is simulated by this shard."""
+        ...
+
+    def export(
+        self,
+        deliver_time: float,
+        dst: int,
+        on_arrival: Callable[..., None],
+        cb_args: Tuple[Any, ...],
+        msg: Message,
+    ) -> None:
+        """Buffer a cross-shard arrival for replay at the next barrier."""
+        ...
+
+
 class Network:
     """Point-to-point message fabric with per-hop delay and faults.
 
@@ -486,6 +523,10 @@ class Network:
         #: conservation equation checked by
         #: :func:`repro.analysis.invariants.check_message_conservation`
         self.in_flight = 0
+        #: optional shard boundary (see :class:`ShardPartition`); when
+        #: set, hops to nodes owned by another shard are exported to the
+        #: coordinator instead of being scheduled on the local engine
+        self.partition: Optional[ShardPartition] = None
 
     def hop(
         self,
@@ -531,6 +572,20 @@ class Network:
         else:
             delay = self.hop_delay_ms
             dup_delay = None
+
+        part = self.partition
+        if part is not None and not part.is_local(dst):
+            self.in_flight += 1
+            part.export(self.sim.now + delay, dst, on_arrival, cb_args, msg)
+            if dup_delay is not None:
+                self.stats.record_duplicate(msg.kind)
+                if c is not None:
+                    c.inc("net.duplicates")
+                self.in_flight += 1
+                part.export(
+                    self.sim.now + dup_delay, dst, on_arrival, cb_args, replace(msg)
+                )
+            return
 
         self.in_flight += 1
         self.sim.schedule(delay, self._arrive, dst, on_arrival, cb_args, msg)

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every simlint rule (D001–D013)."""
+"""Positive and negative cases for every simlint rule (D001–D014)."""
 
 import textwrap
 
@@ -20,7 +20,7 @@ def codes(findings):
 def test_registry_is_complete():
     assert all_rule_codes() == [
         "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008",
-        "D009", "D010", "D011", "D012", "D013",
+        "D009", "D010", "D011", "D012", "D013", "D014",
     ]
     assert set(RULES) == set(all_rule_codes())
 
@@ -610,3 +610,55 @@ def test_d013_allows_sanctioned_homes_and_reads(tmp_path):
         return mapper
     """
     assert run_lint(tmp_path, "core/roles/local.py", local) == []
+
+
+# ---------------------------------------------------------------- D014
+def test_d014_flags_undocumented_dict_seeds_in_chord(tmp_path):
+    source = """\
+    from collections import defaultdict
+
+    class Node:
+        def __init__(self):
+            self._memo = {}
+            self._routes: dict = dict()
+            self._by_key = defaultdict(list)
+    """
+    findings = run_lint(tmp_path, "chord/memo.py", source)
+    assert codes(findings) == ["D014", "D014", "D014"]
+
+
+def test_d014_accepts_bound_witness_comments(tmp_path):
+    source = """\
+    class Node:
+        def __init__(self):
+            self._apps = {}  # bounded: one entry per live node
+            #: capped at dedup_seen_limit entries
+            self._seen: dict = {}
+            #: cohort members, keyed by node id
+            #: (bounded by ring membership)
+            self._members = [{} for _ in range(4)]
+    """
+    assert run_lint(tmp_path, "chord/fine.py", source) == []
+
+
+def test_d014_scope_is_chord_only_and_skips_non_dict_state(tmp_path):
+    source = """\
+    class Node:
+        def __init__(self):
+            self._memo = {}
+    """
+    # outside chord/ the rule does not bind
+    assert run_lint(tmp_path, "core/roles/holder2.py", source) == []
+    assert run_lint(tmp_path, "tests/chord/test_memo.py", source) == []
+    # non-dict seeds and local variables are not per-node dict state
+    clean = """\
+    class Node:
+        def __init__(self):
+            self._ids = []
+            self._arcs = None
+
+        def table(self):
+            groups = {}
+            return groups
+    """
+    assert run_lint(tmp_path, "chord/clean.py", clean) == []

@@ -3,7 +3,7 @@
 from repro.chord.idspace import IdSpace
 from repro.chord.node import ChordNode
 from repro.chord.ring import ChordRing
-from repro.chord.routing import _CACHE_CAP, find_successor, next_hop
+from repro.chord.routing import find_successor, next_hop
 from repro.chord.stabilize import Stabilizer
 from repro.perf.counters import counting
 from repro.sim.engine import Simulator
@@ -24,7 +24,7 @@ def test_cached_hop_identical_to_fresh(tmp_path=None):
         first = next_hop(node, key)
         again = next_hop(node, key)
         assert again == first
-        node._nh_cache.clear()
+        node._nh_arcs = None
         node._nh_epoch = -1
         fresh = next_hop(node, key)
         assert fresh == first
@@ -34,11 +34,11 @@ def test_counters_record_hits_and_misses():
     ring = build_ring(12)
     node = next(iter(ring))
     with counting() as ops:
+        next_hop(node, 123)  # miss: builds the arc table
         next_hop(node, 123)
-        next_hop(node, 123)
-        next_hop(node, 456)
-    assert ops.get("route.cache_misses") == 2
-    assert ops.get("route.cache_hits") == 1
+        next_hop(node, 456)  # different key, same table: still a hit
+    assert ops.get("route.cache_misses") == 1
+    assert ops.get("route.cache_hits") == 2
 
 
 def test_membership_change_invalidates_cache():
@@ -75,7 +75,7 @@ def test_alive_check_rejects_stale_cached_hop():
     start = next(iter(ring))
     key = 999
     hop, _final = next_hop(start, key)  # now memoised
-    assert key in start._nh_cache
+    assert start._nh_arcs is not None
     hop.alive = False  # simulate unsanctioned mutation
     again, _final = next_hop(start, key)
     assert again is not hop
@@ -106,12 +106,25 @@ def test_churn_with_stabilizer_converges_to_exact_routing():
         assert find_successor(joiner, key) is ring.successor_of_key(key)
 
 
-def test_cache_is_capped():
+def test_memo_size_is_bounded_by_routing_state_not_key_stream():
+    """The arc table covers every key in O(m + r) entries."""
     ring = build_ring(6)
     node = next(iter(ring))
-    for key in range(_CACHE_CAP + 500):
+    for key in range(0, ring.space.size, 7):  # ~9 k distinct keys
         next_hop(node, key)
-    assert len(node._nh_cache) <= _CACHE_CAP
+    breakpoints, results = node._nh_arcs
+    bound = 2 + ring.space.m + len(node.successor_list)
+    assert len(breakpoints) == len(results) <= bound
+
+
+def test_arc_table_matches_uncached_for_every_key():
+    """Exhaustive sweep on a small space: memoised == fresh, bit for bit."""
+    from repro.chord.routing import _compute_hop
+
+    ring = build_ring(10, m=8)
+    for node in ring:
+        for key in range(ring.space.size):
+            assert next_hop(node, key) == _compute_hop(node, key)
 
 
 def test_epoch_is_shared_per_space_not_global():

@@ -46,6 +46,7 @@ def test_parser_lists_all_commands():
         "ring-stats",
         "lossy",
         "bench",
+        "shard",
         "sweep",
         "lint",
         "protocol",

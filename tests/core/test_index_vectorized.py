@@ -81,6 +81,47 @@ def test_scan_reuses_stack_until_store_changes():
     assert idx._stack is None
 
 
+def test_end_of_layout_insert_appends_without_rebuild():
+    rng = RngRegistry(seed=13).get("index-append")
+    idx = random_index(rng, n_streams=3, boxes_per_stream=2)
+    q = np.zeros(4)
+    idx.probe(q, 10.0, now=0.0)
+    before = idx._stack
+    assert before is not None
+    # The last stream in layout order ("s2") owns the final block: its
+    # insert extends the stack in place.
+    idx.add_mbr(MBR(low=np.zeros(4), high=np.ones(4), stream_id="s2"), expires=99.0)
+    assert idx._stack is not None
+    assert len(idx._stack[3]) == len(before[3]) + 1
+    # A brand-new stream also lands at the end of the layout.
+    idx.add_mbr(MBR(low=np.zeros(4), high=np.ones(4), stream_id="fresh"), expires=99.0)
+    assert idx._stack is not None
+    assert idx._stack[0]["fresh"] == (7, 8)
+    # A mid-layout stream cannot append: the stack goes stale.
+    idx.add_mbr(MBR(low=np.zeros(4), high=np.ones(4), stream_id="s0"), expires=99.0)
+    assert idx._stack is None
+
+
+def test_incremental_append_matches_full_rebuild_exactly():
+    """Warm-stack appends produce the same scans as a cold rebuild."""
+    rng = RngRegistry(seed=3).get("index-append-eq")
+    warm = LocalIndex()
+    cold = LocalIndex()
+    q = rng.uniform(-1.0, 1.0, 4)
+    warm.probe(q, 10.0, now=0.0)  # keep the warm index's stack live
+    for step in range(60):
+        lo = rng.uniform(-1, 1, 4)
+        hi = lo + rng.uniform(0, 0.5, 4)
+        mbr = MBR(low=lo, high=hi, stream_id=f"s{step % 5}")
+        expires = float(rng.uniform(50, 150))
+        warm.add_mbr(mbr, expires)
+        cold.add_mbr(mbr, expires)
+        got = warm.probe(q, 1.2, now=25.0)
+        cold._stack = None  # force the rebuild path every time
+        want = cold.probe(q, 1.2, now=25.0)
+        assert got == want  # same streams, same order, bit-identical dists
+
+
 def test_ragged_dimensionalities_fall_back_to_scalar():
     """A mixed-dims store cannot stack; behavior matches the scalar loop."""
     idx = LocalIndex()

@@ -187,9 +187,13 @@ def test_stats_epoch_pinned_across_reset():
 
 
 # ----------------------------------------------------------------------
-# receive-side dedup: replaying a delivery must be a no-op
+# receive-side dedup: replaying a delivery must be a no-op.  Dedup
+# bookkeeping only runs when the config has a mechanism that can replay
+# a delivery at all (MiddlewareConfig.duplicates_possible), so these
+# systems turn duplicate injection on.
 # ----------------------------------------------------------------------
 def small_system(n=8, seed=0, **cfg_kw):
+    cfg_kw.setdefault("duplicate_rate", 0.01)
     cfg = MiddlewareConfig(
         m=16,
         window_size=16,
@@ -329,10 +333,11 @@ def test_replayed_response_push_is_idempotent():
 
 
 def test_replay_suppression_works_with_reliability_off():
-    """Dedup is unconditional: even without acks/retries, an injected
-    network duplicate must not double-apply state."""
+    """Dedup does not need acks/retries: whenever the network can
+    inject a duplicate, the duplicate must not double-apply state."""
     system = small_system()
     assert not system.config.reliable_delivery
+    assert system.config.duplicates_possible
     client = system.app(0)
     push = ResponsePush(
         client_id=client.node_id,
@@ -386,3 +391,31 @@ def test_duplicate_delivery_is_reacked():
     system.run(2_000.0)
     # two deliveries -> two acks routed back to the sender
     assert system.network.stats.sends_by_kind[KIND.ACK] >= 2
+
+
+def test_dedup_tracking_is_skipped_when_duplicates_impossible():
+    """With no loss/dup/retry/vnode/replica mechanism, the seen-set can
+    never hit, so it is not maintained at all (scale memory: §11)."""
+    system = small_system(duplicate_rate=0.0)
+    assert not system.config.duplicates_possible
+    app = system.app(0)
+    mbr = MBR.of_point(np.array([0.5, 0.5]), stream_id="sY")
+    payload = MbrPublish(
+        mbr=mbr,
+        source_id=system.app(1).node_id,
+        low_key=app.node_id,
+        high_key=app.node_id,
+        lifespan_ms=10_000.0,
+        delivery_id=next_delivery_id(),
+    )
+    app.deliver(
+        app.node,
+        Message(
+            kind=KIND.MBR,
+            payload=payload,
+            origin=system.app(1).node_id,
+            dest_key=app.node_id,
+        ),
+    )
+    assert app.index.mbr_count() == 1
+    assert len(app.runtime._seen_deliveries) == 0

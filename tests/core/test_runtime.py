@@ -246,7 +246,8 @@ def test_dedup_seen_limit_validated():
 
 def test_dedup_seen_set_evicts_fifo():
     """The seen-set is bounded; the oldest delivery id falls out first."""
-    system = small_system(dedup_seen_limit=3)
+    # duplicate_rate > 0 so dedup bookkeeping is active (duplicates_possible)
+    system = small_system(dedup_seen_limit=3, duplicate_rate=0.01)
     client = system.app(0)
 
     def deliver(delivery_id):
@@ -292,7 +293,8 @@ def test_dedup_key_includes_origin():
     routinely hand out the same bare id.  Only a repeat from the *same*
     origin is a retransmission.
     """
-    system = small_system()
+    # duplicate_rate > 0 so dedup bookkeeping is active (duplicates_possible)
+    system = small_system(duplicate_rate=0.01)
     client = system.app(0)
 
     def deliver(origin_id, delivery_id):
